@@ -1,0 +1,160 @@
+// Package dss_test holds the repository-level benchmarks: one benchmark
+// per figure of the paper's evaluation (Section VII) plus the ablations of
+// DESIGN.md. Each benchmark runs a complete distributed sort on the
+// corresponding workload and reports, alongside ns/op (harness wall time
+// on this host), the two metrics the paper plots: the α-β model time in
+// milliseconds and the communication volume in bytes per string.
+//
+// Run with: go test -bench=. -benchmem
+package dss_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dss/internal/input"
+	"dss/stringsort"
+)
+
+const benchSeed = 1
+
+func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
+	b.Helper()
+	var modelTime, bytesPerString float64
+	for i := 0; i < b.N; i++ {
+		res, err := stringsort.Sort(inputs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		modelTime = res.Stats.ModelTime
+		bytesPerString = res.Stats.BytesPerString
+	}
+	b.ReportMetric(modelTime*1e3, "model-ms")
+	b.ReportMetric(bytesPerString, "bytes/str")
+}
+
+func dnInputs(p, nPerPE, length int, ratio float64) [][][]byte {
+	inputs := make([][][]byte, p)
+	for pe := 0; pe < p; pe++ {
+		inputs[pe] = input.DN(input.DNConfig{
+			StringsPerPE: nPerPE, Length: length, Ratio: ratio, Seed: benchSeed,
+		}, pe, p)
+	}
+	return inputs
+}
+
+// BenchmarkFig4 covers the weak-scaling D/N experiment: every algorithm at
+// every ratio on a fixed PE count (the harness binary sweeps the PE axis).
+func BenchmarkFig4(b *testing.B) {
+	const p, nPerPE, length = 8, 1000, 100
+	for _, ratio := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		inputs := dnInputs(p, nPerPE, length, ratio)
+		for _, algo := range stringsort.Algorithms {
+			b.Run(fmt.Sprintf("DN=%.2f/%v", ratio, algo), func(b *testing.B) {
+				runBench(b, inputs, stringsort.Config{Algorithm: algo, Seed: benchSeed})
+			})
+		}
+	}
+}
+
+// BenchmarkFig5CommonCrawl covers the COMMONCRAWL-like strong scaling
+// experiment at two PE counts.
+func BenchmarkFig5CommonCrawl(b *testing.B) {
+	const total = 16000
+	for _, p := range []int{8, 16} {
+		inputs := make([][][]byte, p)
+		for pe := 0; pe < p; pe++ {
+			inputs[pe] = input.CommonCrawlLike(input.CCConfig{
+				LinesPerPE: total / p, Seed: benchSeed,
+			}, pe, p)
+		}
+		for _, algo := range stringsort.Algorithms {
+			b.Run(fmt.Sprintf("p=%d/%v", p, algo), func(b *testing.B) {
+				runBench(b, inputs, stringsort.Config{Algorithm: algo, Seed: benchSeed})
+			})
+		}
+	}
+}
+
+// BenchmarkFig5DNA covers the DNAREADS-like strong scaling experiment.
+func BenchmarkFig5DNA(b *testing.B) {
+	const total = 16000
+	for _, p := range []int{8, 16} {
+		inputs := make([][][]byte, p)
+		for pe := 0; pe < p; pe++ {
+			inputs[pe] = input.DNAReads(input.DNAConfig{
+				ReadsPerPE: total / p, Seed: benchSeed,
+			}, pe, p)
+		}
+		for _, algo := range stringsort.Algorithms {
+			b.Run(fmt.Sprintf("p=%d/%v", p, algo), func(b *testing.B) {
+				runBench(b, inputs, stringsort.Config{Algorithm: algo, Seed: benchSeed})
+			})
+		}
+	}
+}
+
+// BenchmarkSuffixInstance covers the Section VII-E suffix experiment:
+// PDMS against the strongest conventional algorithm (MS).
+func BenchmarkSuffixInstance(b *testing.B) {
+	const textLen = 12000
+	const p = 8
+	inputs := make([][][]byte, p)
+	for pe := 0; pe < p; pe++ {
+		inputs[pe] = input.SuffixInstance(input.SuffixConfig{
+			TextLen: textLen, Seed: benchSeed,
+		}, pe, p)
+	}
+	for _, algo := range []stringsort.Algorithm{stringsort.MS, stringsort.PDMS, stringsort.PDMSGolomb} {
+		b.Run(algo.String(), func(b *testing.B) {
+			runBench(b, inputs, stringsort.Config{Algorithm: algo, Seed: benchSeed})
+		})
+	}
+}
+
+// BenchmarkSkewSampling covers the Section VII-E skew experiment:
+// string-based vs character-based sampling for MS on the skewed instance.
+func BenchmarkSkewSampling(b *testing.B) {
+	const p, nPerPE, length = 8, 800, 80
+	inputs := make([][][]byte, p)
+	for pe := 0; pe < p; pe++ {
+		inputs[pe] = input.DNSkewed(input.DNConfig{
+			StringsPerPE: nPerPE, Length: length, Ratio: 0.5, Seed: benchSeed,
+		}, pe, p)
+	}
+	for _, char := range []bool{false, true} {
+		name := "string-sampling"
+		if char {
+			name = "char-sampling"
+		}
+		b.Run(name, func(b *testing.B) {
+			runBench(b, inputs, stringsort.Config{
+				Algorithm: stringsort.MS, Seed: benchSeed, CharSampling: char,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationOversampling sweeps the oversampling factor v.
+func BenchmarkAblationOversampling(b *testing.B) {
+	inputs := dnInputs(8, 1000, 100, 0.5)
+	for _, v := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
+			runBench(b, inputs, stringsort.Config{
+				Algorithm: stringsort.MS, Seed: benchSeed, Oversampling: v,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationEps sweeps PDMS's prefix growth factor.
+func BenchmarkAblationEps(b *testing.B) {
+	inputs := dnInputs(8, 1000, 100, 0.25)
+	for _, eps := range []float64{0.5, 1, 3} {
+		b.Run(fmt.Sprintf("eps=%.1f", eps), func(b *testing.B) {
+			runBench(b, inputs, stringsort.Config{
+				Algorithm: stringsort.PDMS, Seed: benchSeed, Eps: eps,
+			})
+		})
+	}
+}

@@ -1,0 +1,80 @@
+// Command dss-gen writes the synthetic evaluation workloads of Section VII
+// to stdout (or a file), one string per line, for use with dss-sort or
+// external tools.
+//
+// Usage:
+//
+//	dss-gen -kind dn -ratio 0.5 -n 100000 -len 100 > dn05.txt
+//	dss-gen -kind cc -n 50000 > cc.txt
+//	dss-gen -kind dna -n 50000 > dna.txt
+//	dss-gen -kind suffix -n 20000 > suffix.txt
+//	dss-gen -kind skew -ratio 0.5 -n 100000 -len 100 > skew.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dss/internal/input"
+	"dss/internal/strutil"
+)
+
+func main() {
+	kind := flag.String("kind", "dn", "workload: dn, skew, cc, dna, suffix, random")
+	n := flag.Int("n", 10000, "total number of strings (text length for suffix)")
+	length := flag.Int("len", 100, "string length (dn/skew)")
+	ratio := flag.Float64("ratio", 0.5, "D/N ratio (dn/skew)")
+	seed := flag.Int64("seed", 1, "random seed")
+	outPath := flag.String("out", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print instance statistics to stderr")
+	flag.Parse()
+
+	var ss [][]byte
+	switch *kind {
+	case "dn":
+		ss = input.DN(input.DNConfig{StringsPerPE: *n, Length: *length, Ratio: *ratio, Seed: *seed}, 0, 1)
+	case "skew":
+		ss = input.DNSkewed(input.DNConfig{StringsPerPE: *n, Length: *length, Ratio: *ratio, Seed: *seed}, 0, 1)
+	case "cc":
+		ss = input.CommonCrawlLike(input.CCConfig{LinesPerPE: *n, Seed: *seed}, 0, 1)
+	case "dna":
+		ss = input.DNAReads(input.DNAConfig{ReadsPerPE: *n, Seed: *seed}, 0, 1)
+	case "suffix":
+		ss = input.SuffixInstance(input.SuffixConfig{TextLen: *n, Seed: *seed}, 0, 1)
+	case "random":
+		ss = input.Random(*n, *length, 26, 0, 1, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for _, s := range ss {
+		w.Write(s)
+		w.WriteByte('\n')
+	}
+
+	if *stats {
+		d := strutil.TotalD(ss)
+		nn := strutil.TotalLen(ss)
+		fmt.Fprintf(os.Stderr, "strings:  %d\n", len(ss))
+		fmt.Fprintf(os.Stderr, "chars:    %d (avg %.1f per string)\n", nn, float64(nn)/float64(len(ss)))
+		fmt.Fprintf(os.Stderr, "D:        %d\n", d)
+		fmt.Fprintf(os.Stderr, "D/N:      %.4f\n", float64(d)/float64(nn))
+		fmt.Fprintf(os.Stderr, "max len:  %d\n", strutil.MaxLen(ss))
+	}
+}

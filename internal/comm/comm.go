@@ -1,0 +1,234 @@
+// Package comm implements the distributed-memory machine substrate that the
+// paper's algorithms run on. The original implementation uses MPI on an
+// InfiniBand cluster; here each processing element (PE) is a goroutine with
+// strictly private memory, and all data crosses PE boundaries through
+// explicit tagged point-to-point messages and collective operations built
+// on top of them.
+//
+// The substrate enforces message-passing discipline: every Send copies its
+// payload, so a PE can never observe another PE's memory. Every payload
+// byte and message sent to a *different* PE is attributed to the sending
+// PE's current accounting phase (package stats), which is how the
+// "bytes sent per string" panels of Figures 4 and 5 are reproduced exactly.
+//
+// Message semantics follow MPI: messages between a fixed (sender, receiver)
+// pair are non-overtaking, and a receive selects the earliest pending
+// message from the requested source with the requested tag.
+package comm
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"dss/internal/stats"
+)
+
+// envelope is one in-flight message.
+type envelope struct {
+	tag  int
+	data []byte
+}
+
+// mailbox queues messages from one fixed sender to one fixed receiver.
+// Senders never block (the queue is unbounded); receivers block until a
+// message with a matching tag arrives.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []envelope
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(tag int, data []byte) {
+	m.mu.Lock()
+	m.q = append(m.q, envelope{tag: tag, data: data})
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// pop removes and returns the earliest message with the given tag,
+// blocking until one is available.
+func (m *mailbox) pop(tag int) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i := range m.q {
+			if m.q[i].tag == tag {
+				data := m.q[i].data
+				m.q = append(m.q[:i], m.q[i+1:]...)
+				return data
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// Machine is a simulated distributed-memory machine with P processing
+// elements. Create one with New, then execute an SPMD program with Run.
+// A Machine can be reused for several consecutive Run calls; statistics
+// accumulate until ResetStats is called.
+type Machine struct {
+	p     int
+	boxes [][]*mailbox // boxes[dst][src]
+	pes   []*stats.PE
+	model stats.CostModel
+}
+
+// New creates a machine with p PEs and the default cost model.
+func New(p int) *Machine {
+	if p <= 0 {
+		panic("comm: machine needs at least one PE")
+	}
+	m := &Machine{
+		p:     p,
+		boxes: make([][]*mailbox, p),
+		pes:   make([]*stats.PE, p),
+		model: stats.DefaultModel(),
+	}
+	for dst := 0; dst < p; dst++ {
+		m.boxes[dst] = make([]*mailbox, p)
+		for src := 0; src < p; src++ {
+			m.boxes[dst][src] = newMailbox()
+		}
+		m.pes[dst] = &stats.PE{Rank: dst}
+	}
+	return m
+}
+
+// P returns the number of PEs.
+func (m *Machine) P() int { return m.p }
+
+// SetModel replaces the cost model used for reports.
+func (m *Machine) SetModel(model stats.CostModel) { m.model = model }
+
+// Report returns the accounting report accumulated so far.
+func (m *Machine) Report() *stats.Report {
+	return stats.NewReport(m.pes, m.model)
+}
+
+// ResetStats clears all accumulated counters.
+func (m *Machine) ResetStats() {
+	for i := range m.pes {
+		m.pes[i] = &stats.PE{Rank: i}
+	}
+}
+
+// Run executes f once per PE, concurrently, and waits for all PEs to
+// finish. Each invocation receives a Comm bound to its rank. If any PE
+// returns an error or panics, Run returns an error describing the first
+// failure (all PEs are still waited for; a panicking PE may leave peers
+// blocked in Recv, which Run detects only through the test timeout, so
+// algorithm code must not panic in normal operation).
+func (m *Machine) Run(f func(c *Comm) error) error {
+	errs := make([]error, m.p)
+	var wg sync.WaitGroup
+	wg.Add(m.p)
+	for rank := 0; rank < m.p; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("PE %d panicked: %v\n%s", rank, r, debug.Stack())
+					// Unblock every peer that might be waiting on us by
+					// flooding poison messages is not safe in general; we
+					// rely on the panic being a programming error surfaced
+					// in tests. Mark and return.
+				}
+			}()
+			errs[rank] = f(&Comm{rank: rank, m: m, st: m.pes[rank]})
+		}(rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one PE's endpoint of the machine: its rank, its mailboxes and its
+// accounting state. A Comm is confined to the goroutine running the PE.
+type Comm struct {
+	rank  int
+	m     *Machine
+	st    *stats.PE
+	phase stats.Phase
+}
+
+// Rank returns this PE's rank in [0, P).
+func (c *Comm) Rank() int { return c.rank }
+
+// P returns the number of PEs of the machine.
+func (c *Comm) P() int { return c.m.p }
+
+// SetPhase switches the accounting phase for subsequent operations and
+// returns the previous phase.
+func (c *Comm) SetPhase(ph stats.Phase) stats.Phase {
+	old := c.phase
+	c.phase = ph
+	return old
+}
+
+// Phase returns the current accounting phase.
+func (c *Comm) Phase() stats.Phase { return c.phase }
+
+// AddWork credits local work units (character inspections, moves) to the
+// current phase.
+func (c *Comm) AddWork(units int64) {
+	c.st.Phases[c.phase].Work += units
+}
+
+// Send transmits data to dst with the given tag. The payload is copied, so
+// the caller retains ownership of data. Self-sends are delivered but do not
+// count as communication volume (no bytes leave the PE).
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.m.p {
+		panic(fmt.Sprintf("comm: send to invalid rank %d (P=%d)", dst, c.m.p))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if dst != c.rank {
+		ph := &c.st.Phases[c.phase]
+		ph.BytesSent += int64(len(data))
+		ph.Messages++
+	}
+	c.m.boxes[dst][c.rank].push(tag, cp)
+}
+
+// Recv blocks until a message with the given tag arrives from src and
+// returns its payload. The returned slice is owned by the caller.
+func (c *Comm) Recv(src, tag int) []byte {
+	if src < 0 || src >= c.m.p {
+		panic(fmt.Sprintf("comm: recv from invalid rank %d (P=%d)", src, c.m.p))
+	}
+	data := c.m.boxes[c.rank][src].pop(tag)
+	if src != c.rank {
+		c.st.Phases[c.phase].BytesRecv += int64(len(data))
+	}
+	return data
+}
+
+// SendRecv exchanges a message with a partner PE: it sends data to partner
+// and receives the partner's message with the same tag. Safe against
+// deadlock because sends never block.
+func (c *Comm) SendRecv(partner, tag int, data []byte) []byte {
+	c.Send(partner, tag, data)
+	return c.Recv(partner, tag)
+}
+
+// World returns the group of all PEs, on which the collective operations
+// are defined.
+func (c *Comm) World() *Group {
+	ranks := make([]int, c.m.p)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return &Group{c: c, ranks: ranks, myIdx: c.rank, gid: 0}
+}

@@ -1,0 +1,609 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dss/internal/stats"
+	"dss/internal/wire"
+)
+
+// ps is the set of PE counts exercised by every collective test, including
+// non-powers of two and the degenerate single-PE machine.
+var ps = []int{1, 2, 3, 4, 5, 7, 8, 13, 16}
+
+func TestSendRecvBasic(t *testing.T) {
+	m := New(2)
+	err := m.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("ping"))
+			if got := c.Recv(1, 8); string(got) != "pong" {
+				return fmt.Errorf("got %q", got)
+			}
+		} else {
+			if got := c.Recv(0, 7); string(got) != "ping" {
+				return fmt.Errorf("got %q", got)
+			}
+			c.Send(0, 8, []byte("pong"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	m := New(2)
+	err := m.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte("original")
+			c.Send(1, 1, buf)
+			copy(buf, "MUTATED!")
+			c.Send(1, 2, nil) // sync
+		} else {
+			got := c.Recv(0, 1)
+			c.Recv(0, 2)
+			if string(got) != "original" {
+				return fmt.Errorf("payload aliased sender memory: %q", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessagesNonOvertakingSameTag(t *testing.T) {
+	m := New(2)
+	const k = 100
+	err := m.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				c.Send(1, 3, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				got := c.Recv(0, 3)
+				if len(got) != 1 || got[0] != byte(i) {
+					return fmt.Errorf("message %d out of order: %v", i, got)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSelectiveReceive(t *testing.T) {
+	m := New(2)
+	err := m.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 10, []byte("ten"))
+			c.Send(1, 20, []byte("twenty"))
+		} else {
+			// Receive in the opposite order of sending.
+			if got := c.Recv(0, 20); string(got) != "twenty" {
+				return fmt.Errorf("tag 20: got %q", got)
+			}
+			if got := c.Recv(0, 10); string(got) != "ten" {
+				return fmt.Errorf("tag 10: got %q", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSendNotCounted(t *testing.T) {
+	m := New(1)
+	err := m.Run(func(c *Comm) error {
+		c.Send(0, 1, []byte("loop"))
+		if got := c.Recv(0, 1); string(got) != "loop" {
+			return fmt.Errorf("self-send lost: %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Report().TotalBytesSent(); got != 0 {
+		t.Fatalf("self-send counted as %d bytes of communication", got)
+	}
+}
+
+func TestVolumeAccounting(t *testing.T) {
+	m := New(2)
+	err := m.Run(func(c *Comm) error {
+		c.SetPhase(stats.PhaseExchange)
+		if c.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 1000))
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Report()
+	if got := r.TotalBytesSent(); got != 1000 {
+		t.Fatalf("TotalBytesSent = %d, want 1000", got)
+	}
+	if got := r.TotalMessages(); got != 1 {
+		t.Fatalf("TotalMessages = %d, want 1", got)
+	}
+	if got := r.PEs[1].Phases[stats.PhaseExchange].BytesRecv; got != 1000 {
+		t.Fatalf("PE1 BytesRecv = %d, want 1000", got)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	m := New(3)
+	err := m.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, p := range ps {
+		m := New(p)
+		counter := make([]int32, p)
+		err := m.Run(func(c *Comm) error {
+			g := c.World()
+			counter[c.Rank()] = 1
+			g.Barrier()
+			// After the barrier every PE must see every counter set.
+			for i := 0; i < p; i++ {
+				if counter[i] != 1 {
+					return fmt.Errorf("p=%d: PE %d passed barrier before PE %d arrived", p, c.Rank(), i)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, p := range ps {
+		for root := 0; root < p; root += max(1, p/3) {
+			m := New(p)
+			payload := []byte(fmt.Sprintf("hello from %d", root))
+			err := m.Run(func(c *Comm) error {
+				g := c.World()
+				var data []byte
+				if c.Rank() == root {
+					data = payload
+				}
+				got := g.Bcast(root, data)
+				if !bytes.Equal(got, payload) {
+					return fmt.Errorf("p=%d root=%d rank=%d: got %q", p, root, c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestBcastLogarithmicMessages(t *testing.T) {
+	const p = 16
+	m := New(p)
+	err := m.Run(func(c *Comm) error {
+		g := c.World()
+		var data []byte
+		if c.Rank() == 0 {
+			data = make([]byte, 100)
+		}
+		g.Bcast(0, data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binomial tree: exactly p-1 messages in total, and the root sends only
+	// log2(p) of them.
+	r := m.Report()
+	if got := r.TotalMessages(); got != p-1 {
+		t.Fatalf("bcast messages = %d, want %d", got, p-1)
+	}
+	if got := r.PEs[0].Total().Messages; got != 4 {
+		t.Fatalf("root messages = %d, want log2(16)=4", got)
+	}
+}
+
+func TestGatherv(t *testing.T) {
+	for _, p := range ps {
+		for root := 0; root < p; root += max(1, p/2) {
+			m := New(p)
+			err := m.Run(func(c *Comm) error {
+				g := c.World()
+				mine := []byte(fmt.Sprintf("pe%d", c.Rank()))
+				parts := g.Gatherv(root, mine)
+				if c.Rank() != root {
+					if parts != nil {
+						return fmt.Errorf("non-root got parts")
+					}
+					return nil
+				}
+				if len(parts) != p {
+					return fmt.Errorf("got %d parts, want %d", len(parts), p)
+				}
+				for i, part := range parts {
+					if string(part) != fmt.Sprintf("pe%d", i) {
+						return fmt.Errorf("part %d = %q", i, part)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	for _, p := range ps {
+		m := New(p)
+		err := m.Run(func(c *Comm) error {
+			g := c.World()
+			mine := []byte(fmt.Sprintf("data-%d", c.Rank()*c.Rank()))
+			parts := g.Allgatherv(mine)
+			if len(parts) != p {
+				return fmt.Errorf("got %d parts", len(parts))
+			}
+			for i, part := range parts {
+				want := fmt.Sprintf("data-%d", i*i)
+				if string(part) != want {
+					return fmt.Errorf("part %d = %q, want %q", i, part, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	for _, p := range ps {
+		m := New(p)
+		err := m.Run(func(c *Comm) error {
+			g := c.World()
+			parts := make([][]byte, p)
+			for dst := 0; dst < p; dst++ {
+				parts[dst] = []byte(fmt.Sprintf("%d->%d", c.Rank(), dst))
+			}
+			got := g.Alltoallv(parts)
+			for src := 0; src < p; src++ {
+				want := fmt.Sprintf("%d->%d", src, c.Rank())
+				if string(got[src]) != want {
+					return fmt.Errorf("from %d: got %q, want %q", src, got[src], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAlltoallvHypercube(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		m := New(p)
+		err := m.Run(func(c *Comm) error {
+			g := c.World()
+			parts := make([][]byte, p)
+			for dst := 0; dst < p; dst++ {
+				parts[dst] = []byte(fmt.Sprintf("%d=>%d", c.Rank(), dst))
+			}
+			got := g.AlltoallvHypercube(parts)
+			for src := 0; src < p; src++ {
+				want := fmt.Sprintf("%d=>%d", src, c.Rank())
+				if string(got[src]) != want {
+					return fmt.Errorf("from %d: got %q, want %q", src, got[src], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestHypercubeTradesVolumeForLatency(t *testing.T) {
+	// The hypercube all-to-all must use fewer message rounds but more
+	// volume than the direct variant (Section II tradeoff).
+	const p = 16
+	const sz = 1000
+	run := func(hyper bool) (msgs, bytes int64) {
+		m := New(p)
+		err := m.Run(func(c *Comm) error {
+			g := c.World()
+			parts := make([][]byte, p)
+			for dst := 0; dst < p; dst++ {
+				parts[dst] = make([]byte, sz)
+			}
+			if hyper {
+				g.AlltoallvHypercube(parts)
+			} else {
+				g.Alltoallv(parts)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := m.Report()
+		return r.PEs[0].Total().Messages, r.TotalBytesSent()
+	}
+	dMsgs, dBytes := run(false)
+	hMsgs, hBytes := run(true)
+	if hMsgs >= dMsgs {
+		t.Fatalf("hypercube sends %d msgs/PE, direct %d; want fewer", hMsgs, dMsgs)
+	}
+	if hBytes <= dBytes {
+		t.Fatalf("hypercube volume %d <= direct %d; store-and-forward must cost more", hBytes, dBytes)
+	}
+}
+
+func TestReduceUint64(t *testing.T) {
+	for _, p := range ps {
+		m := New(p)
+		err := m.Run(func(c *Comm) error {
+			g := c.World()
+			vals := []uint64{uint64(c.Rank()), 1, uint64(c.Rank() * 10)}
+			res := g.ReduceUint64(0, vals, Sum)
+			if c.Rank() != 0 {
+				if res != nil {
+					return fmt.Errorf("non-root got result")
+				}
+				return nil
+			}
+			wantSum := uint64(p * (p - 1) / 2)
+			if res[0] != wantSum || res[1] != uint64(p) || res[2] != wantSum*10 {
+				return fmt.Errorf("reduce = %v", res)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	for _, p := range ps {
+		m := New(p)
+		err := m.Run(func(c *Comm) error {
+			g := c.World()
+			got := g.AllreduceUint64([]uint64{uint64(c.Rank() + 5)}, Max)
+			if got[0] != uint64(p+4) {
+				return fmt.Errorf("max = %d, want %d", got[0], p+4)
+			}
+			got = g.AllreduceUint64([]uint64{uint64(c.Rank() + 5)}, Min)
+			if got[0] != 5 {
+				return fmt.Errorf("min = %d, want 5", got[0])
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestExscan(t *testing.T) {
+	for _, p := range ps {
+		m := New(p)
+		err := m.Run(func(c *Comm) error {
+			g := c.World()
+			prefix, total := g.ExscanUint64(uint64(c.Rank() + 1))
+			wantPrefix := uint64(c.Rank() * (c.Rank() + 1) / 2)
+			wantTotal := uint64(p * (p + 1) / 2)
+			if prefix != wantPrefix || total != wantTotal {
+				return fmt.Errorf("exscan = (%d,%d), want (%d,%d)", prefix, total, wantPrefix, wantTotal)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestSubgroupCollectives(t *testing.T) {
+	// Two disjoint groups run collectives concurrently with distinct gids.
+	const p = 8
+	m := New(p)
+	err := m.Run(func(c *Comm) error {
+		var ranks []int
+		gid := 1
+		if c.Rank()%2 == 0 {
+			ranks = []int{0, 2, 4, 6}
+		} else {
+			ranks = []int{1, 3, 5, 7}
+			gid = 2
+		}
+		g := NewGroup(c, ranks, gid)
+		got := g.AllreduceUint64([]uint64{uint64(c.Rank())}, Sum)
+		want := uint64(0 + 2 + 4 + 6)
+		if c.Rank()%2 == 1 {
+			want = 1 + 3 + 5 + 7
+		}
+		if got[0] != want {
+			return fmt.Errorf("rank %d: group sum = %d, want %d", c.Rank(), got[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceBytesOrdered(t *testing.T) {
+	// String concatenation is associative but not commutative: the reduce
+	// must combine payloads strictly in group index order.
+	for _, p := range ps {
+		m := New(p)
+		err := m.Run(func(c *Comm) error {
+			g := c.World()
+			mine := []byte{byte('a' + c.Rank())}
+			res := g.ReduceBytes(0, mine, func(lo, hi []byte) []byte {
+				return append(append([]byte{}, lo...), hi...)
+			})
+			if c.Rank() != 0 {
+				return nil
+			}
+			want := make([]byte, p)
+			for i := range want {
+				want[i] = byte('a' + i)
+			}
+			if !bytes.Equal(res, want) {
+				return fmt.Errorf("reduce order: got %q, want %q", res, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestMachineReuseAndReset(t *testing.T) {
+	m := New(2)
+	body := func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 10))
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	}
+	if err := m.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Report().TotalBytesSent(); got != 20 {
+		t.Fatalf("accumulated volume = %d, want 20", got)
+	}
+	m.ResetStats()
+	if got := m.Report().TotalBytesSent(); got != 0 {
+		t.Fatalf("volume after reset = %d", got)
+	}
+}
+
+func TestGroupGlobalRankTranslation(t *testing.T) {
+	m := New(6)
+	err := m.Run(func(c *Comm) error {
+		if c.Rank() != 2 && c.Rank() != 5 {
+			return nil
+		}
+		g := NewGroup(c, []int{2, 5}, 9)
+		if g.N() != 2 {
+			return fmt.Errorf("N = %d", g.N())
+		}
+		if g.GlobalRank(0) != 2 || g.GlobalRank(1) != 5 {
+			return fmt.Errorf("translation wrong")
+		}
+		wantIdx := 0
+		if c.Rank() == 5 {
+			wantIdx = 1
+		}
+		if g.Idx() != wantIdx {
+			return fmt.Errorf("Idx = %d, want %d", g.Idx(), wantIdx)
+		}
+		// Exchange through the group.
+		got := g.AllreduceUint64([]uint64{uint64(c.Rank())}, Sum)
+		if got[0] != 7 {
+			return fmt.Errorf("sum = %d", got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelTimeMonotoneInVolume(t *testing.T) {
+	run := func(size int) float64 {
+		m := New(4)
+		err := m.Run(func(c *Comm) error {
+			c.SetPhase(stats.PhaseExchange)
+			g := c.World()
+			parts := make([][]byte, 4)
+			for i := range parts {
+				parts[i] = make([]byte, size)
+			}
+			g.Alltoallv(parts)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Report().ModelTime()
+	}
+	small, large := run(100), run(100000)
+	if large <= small {
+		t.Fatalf("model time not monotone: %g <= %g", large, small)
+	}
+}
+
+func TestWirePayloadThroughMachine(t *testing.T) {
+	// Round-trip an LCP-compressed string run through a real exchange.
+	m := New(2)
+	ss := [][]byte{[]byte("alpha"), []byte("alphabet"), []byte("alps")}
+	lcps := []int32{0, 5, 2}
+	err := m.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, wire.EncodeStringsLCP(ss, lcps))
+			return nil
+		}
+		got, gotLCP, err := wire.DecodeStringsLCP(c.Recv(0, 1))
+		if err != nil {
+			return err
+		}
+		for i := range ss {
+			if !bytes.Equal(got[i], ss[i]) {
+				return fmt.Errorf("string %d = %q", i, got[i])
+			}
+		}
+		if gotLCP[1] != 5 || gotLCP[2] != 2 {
+			return fmt.Errorf("lcps = %v", gotLCP)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+// Package core implements the paper's distributed string sorting
+// algorithms on the comm substrate:
+//
+//   - HQuick (Section IV): hypercube quicksort adapted to strings — the
+//     atomic baseline and the distributed sample sorter of MS and PDMS;
+//   - MergeSort (Section V): distributed string merge sort, in the
+//     MS-simple configuration (no LCP optimizations) and the MS
+//     configuration (LCP compression + LCP-aware multiway merging);
+//   - PDMS (Section VI): distributed prefix-doubling string merge sort,
+//     which approximates distinguishing prefix lengths with distributed
+//     duplicate detection and transmits only those prefixes;
+//   - FKMerge (Section II-C): the Fischer-Kurpicz distributed mergesort
+//     baseline with centralized deterministic sample sorting and a plain
+//     loser tree.
+//
+// All algorithms are SPMD: every PE calls the function collectively with
+// its local string array and receives its fragment of the globally sorted
+// output (PE i's strings ≤ PE i+1's strings, each fragment locally sorted).
+// Input slices are not modified; the spine is copied internally.
+package core
+
+// Origin identifies where an output string came from: the PE it was
+// submitted on and its index in that PE's input array. PDMS reports origins
+// so that applications (and the verifier) can fetch the full string behind
+// a transmitted prefix.
+type Origin struct {
+	PE    int32
+	Index int32
+}
+
+// Result is one PE's fragment of the sorted output.
+type Result struct {
+	// Strings is the locally sorted fragment; globally, fragments are
+	// ordered by PE rank. For PDMS these are distinguishing prefixes, not
+	// full strings (see PrefixOnly).
+	Strings [][]byte
+	// LCPs is the LCP array of Strings (LCPs[0] = 0). It is nil for
+	// algorithms that do not produce LCP output (MS-simple, FKMerge).
+	LCPs []int32
+	// Origins, if non-nil, gives the provenance of each output string
+	// (PDMS always fills it).
+	Origins []Origin
+	// PrefixOnly marks PDMS results: Strings hold only the approximated
+	// distinguishing prefixes. The permutation they define is the correct
+	// sorted order of the underlying full strings; use Reconstruct to
+	// materialize them.
+	PrefixOnly bool
+}
+
+// originSat packs an Origin into a merge satellite word.
+func originSat(pe, idx int) uint64 {
+	return uint64(uint32(pe))<<32 | uint64(uint32(idx))
+}
+
+func satOrigin(u uint64) Origin {
+	return Origin{PE: int32(u >> 32), Index: int32(uint32(u))}
+}
+
+func allRanks(p int) []int {
+	r := make([]int, p)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// cloneSpine copies the slice headers (not the character data) so the
+// caller's array survives in-place sorting.
+func cloneSpine(ss [][]byte) [][]byte {
+	out := make([][]byte, len(ss))
+	copy(out, ss)
+	return out
+}

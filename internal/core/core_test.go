@@ -1,0 +1,534 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dss/internal/comm"
+	"dss/internal/strutil"
+)
+
+// scatter distributes a global string set over p PEs round-robin.
+func scatter(global [][]byte, p int) [][][]byte {
+	locals := make([][][]byte, p)
+	for i, s := range global {
+		locals[i%p] = append(locals[i%p], s)
+	}
+	return locals
+}
+
+// runDistributed executes one algorithm collectively and returns the
+// per-PE results and the machine (for statistics).
+func runDistributed(t *testing.T, locals [][][]byte, algo func(c *comm.Comm, ss [][]byte) Result) ([]Result, *comm.Machine) {
+	t.Helper()
+	p := len(locals)
+	m := comm.New(p)
+	results := make([]Result, p)
+	err := m.Run(func(c *comm.Comm) error {
+		results[c.Rank()] = algo(c, locals[c.Rank()])
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, m
+}
+
+// checkGlobalOrder verifies that the concatenation of the per-PE fragments
+// is sorted, that per-PE LCP arrays (if present) are correct, and that the
+// output is a permutation of the input (for full-string algorithms).
+func checkGlobalOrder(t *testing.T, global [][]byte, results []Result, wantPermutation bool) {
+	t.Helper()
+	var concat [][]byte
+	for pe, res := range results {
+		if !strutil.IsSorted(res.Strings) {
+			t.Fatalf("PE %d fragment not locally sorted", pe)
+		}
+		if res.LCPs != nil {
+			if i := strutil.ValidateLCPArray(res.Strings, res.LCPs); i >= 0 {
+				t.Fatalf("PE %d: wrong LCP at %d", pe, i)
+			}
+		}
+		concat = append(concat, res.Strings...)
+	}
+	if !strutil.IsSorted(concat) {
+		t.Fatal("fragments not globally ordered across PEs")
+	}
+	if len(concat) != len(global) {
+		t.Fatalf("output has %d strings, input had %d", len(concat), len(global))
+	}
+	if wantPermutation && strutil.MultisetHash(concat) != strutil.MultisetHash(global) {
+		t.Fatal("output is not a permutation of the input")
+	}
+}
+
+// reconstructPDMS maps (PE, index) origins back to the scattered input.
+func reconstructPDMS(t *testing.T, locals [][][]byte, results []Result) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for pe, res := range results {
+		if !res.PrefixOnly {
+			t.Fatalf("PE %d: PDMS result not marked PrefixOnly", pe)
+		}
+		if len(res.Origins) != len(res.Strings) {
+			t.Fatalf("PE %d: %d origins for %d strings", pe, len(res.Origins), len(res.Strings))
+		}
+		for i, o := range res.Origins {
+			full := locals[o.PE][o.Index]
+			if !bytes.HasPrefix(full, res.Strings[i]) {
+				t.Fatalf("PE %d: output prefix %q is not a prefix of origin string %q",
+					pe, res.Strings[i], full)
+			}
+			out = append(out, full)
+		}
+	}
+	return out
+}
+
+// Workload generators for the integration tests.
+
+func genRandom(rng *rand.Rand, n, maxLen, sigma int) [][]byte {
+	ss := make([][]byte, n)
+	for i := range ss {
+		l := rng.Intn(maxLen + 1)
+		s := make([]byte, l)
+		for j := range s {
+			s[j] = byte('a' + rng.Intn(sigma))
+		}
+		ss[i] = s
+	}
+	return ss
+}
+
+// genSmallD builds strings with long equal padding and short unique cores:
+// D ≪ N, the PDMS sweet spot.
+func genSmallD(n, length int) [][]byte {
+	ss := make([][]byte, n)
+	for i := range ss {
+		s := bytes.Repeat([]byte{'a'}, length)
+		copy(s[8:], []byte(fmt.Sprintf("%08d", i)))
+		ss[i] = s
+	}
+	rand.New(rand.NewSource(7)).Shuffle(n, func(i, j int) { ss[i], ss[j] = ss[j], ss[i] })
+	return ss
+}
+
+var testPs = []int{1, 2, 3, 4, 7, 8}
+
+func TestMergeSortAllConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	configs := map[string]MSOptions{
+		"MS-simple":    MSSimple(),
+		"MS":           DefaultMS(),
+		"MS-comp-only": {LCPCompression: true},
+		"MS-merge-only": {
+			LCPMerge: true,
+		},
+		"MS-central": {LCPCompression: true, LCPMerge: true, CentralSampleSort: true},
+	}
+	for name, opt := range configs {
+		for _, p := range testPs {
+			global := genRandom(rng, 300+p*37, 16, 3)
+			locals := scatter(global, p)
+			o := opt
+			o.GroupID = 1
+			results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+				return MergeSort(c, ss, o)
+			})
+			checkGlobalOrder(t, global, results, true)
+			if o.LCPMerge {
+				for pe, res := range results {
+					if res.LCPs == nil && len(res.Strings) > 0 {
+						t.Fatalf("%s p=%d PE %d: missing LCP output", name, p, pe)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFKMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, p := range testPs {
+		global := genRandom(rng, 400, 12, 4)
+		locals := scatter(global, p)
+		results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+			return FKMerge(c, ss, FKOptions{GroupID: 1})
+		})
+		checkGlobalOrder(t, global, results, true)
+	}
+}
+
+func TestFKMergeManyDuplicates(t *testing.T) {
+	// The original FKmerge crashes on inputs with many repeated strings
+	// (Section VII-D); ours must handle them.
+	var global [][]byte
+	for i := 0; i < 500; i++ {
+		global = append(global, []byte("repeated-line"))
+	}
+	for i := 0; i < 100; i++ {
+		global = append(global, []byte(fmt.Sprintf("unique-%03d", i)))
+	}
+	for _, p := range []int{2, 4, 8} {
+		locals := scatter(global, p)
+		results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+			return FKMerge(c, ss, FKOptions{GroupID: 1})
+		})
+		checkGlobalOrder(t, global, results, true)
+	}
+}
+
+func TestHQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, p := range testPs {
+		global := genRandom(rng, 500, 14, 3)
+		locals := scatter(global, p)
+		results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+			return HQuick(c, ss, HQOptions{GroupID: 1, Seed: 42, TrackPhases: true})
+		})
+		checkGlobalOrder(t, global, results, true)
+	}
+}
+
+func TestHQuickNonPowerOfTwoLeavesHighRanksEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	global := genRandom(rng, 300, 10, 3)
+	p := 7 // hypercube size 4
+	locals := scatter(global, p)
+	results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		return HQuick(c, ss, HQOptions{GroupID: 1, Seed: 1})
+	})
+	checkGlobalOrder(t, global, results, true)
+	for pe := 4; pe < 7; pe++ {
+		if len(results[pe].Strings) != 0 {
+			t.Fatalf("PE %d (outside hypercube) holds %d strings", pe, len(results[pe].Strings))
+		}
+	}
+}
+
+func TestHQuickAllEqualStrings(t *testing.T) {
+	// Duplicate-only input: tie breaking by (PE, index) must keep the
+	// recursion balanced and terminate.
+	var global [][]byte
+	for i := 0; i < 600; i++ {
+		global = append(global, []byte("all-the-same"))
+	}
+	locals := scatter(global, 8)
+	results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		return HQuick(c, ss, HQOptions{GroupID: 1, Seed: 5})
+	})
+	checkGlobalOrder(t, global, results, true)
+	// Tie-broken quicksort must not pile everything on one PE.
+	maxFrag := 0
+	for _, res := range results {
+		if len(res.Strings) > maxFrag {
+			maxFrag = len(res.Strings)
+		}
+	}
+	if maxFrag > 400 {
+		t.Fatalf("duplicate input unbalanced: max fragment %d of 600", maxFrag)
+	}
+}
+
+func TestPDMSVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for _, golomb := range []bool{false, true} {
+		for _, p := range testPs {
+			global := genRandom(rng, 300+p*11, 20, 3)
+			locals := scatter(global, p)
+			opt := DefaultPDMS()
+			opt.Golomb = golomb
+			opt.GroupID = 1
+			opt.Seed = 99
+			results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+				return PDMS(c, ss, opt)
+			})
+			// Prefix order must reproduce the true global order.
+			full := reconstructPDMS(t, locals, results)
+			if !strutil.IsSorted(full) {
+				t.Fatalf("golomb=%v p=%d: reconstructed strings not sorted", golomb, p)
+			}
+			if strutil.MultisetHash(full) != strutil.MultisetHash(global) {
+				t.Fatalf("golomb=%v p=%d: output not a permutation", golomb, p)
+			}
+			// Per-PE prefix fragments carry valid LCP arrays.
+			for pe, res := range results {
+				if i := strutil.ValidateLCPArray(res.Strings, res.LCPs); i >= 0 {
+					t.Fatalf("p=%d PE %d: wrong prefix LCP at %d", p, pe, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPDMSDuplicatesAndPrefixChains(t *testing.T) {
+	var global [][]byte
+	for i := 0; i < 50; i++ {
+		global = append(global, []byte("dup-string"))
+		global = append(global, bytes.Repeat([]byte("a"), i%13))
+		global = append(global, []byte(fmt.Sprintf("key-%04d-suffix", i)))
+	}
+	for _, p := range []int{1, 3, 4} {
+		locals := scatter(global, p)
+		opt := DefaultPDMS()
+		opt.GroupID = 1
+		results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+			return PDMS(c, ss, opt)
+		})
+		full := reconstructPDMS(t, locals, results)
+		if !strutil.IsSorted(full) {
+			t.Fatalf("p=%d: not sorted", p)
+		}
+		if strutil.MultisetHash(full) != strutil.MultisetHash(global) {
+			t.Fatalf("p=%d: not a permutation", p)
+		}
+	}
+}
+
+func TestPDMSCharSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	global := genRandom(rng, 600, 25, 2)
+	locals := scatter(global, 4)
+	opt := PDMSOptions{Eps: 1, GroupID: 1} // char-based by default
+	results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		return PDMS(c, ss, opt)
+	})
+	full := reconstructPDMS(t, locals, results)
+	if !strutil.IsSorted(full) {
+		t.Fatal("char-sampled PDMS output not sorted")
+	}
+}
+
+func TestReconstructCollective(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	global := genRandom(rng, 200, 18, 3)
+	p := 4
+	locals := scatter(global, p)
+	m := comm.New(p)
+	results := make([]Result, p)
+	fulls := make([][][]byte, p)
+	err := m.Run(func(c *comm.Comm) error {
+		opt := DefaultPDMS()
+		opt.GroupID = 1
+		res := PDMS(c, locals[c.Rank()], opt)
+		results[c.Rank()] = res
+		fulls[c.Rank()] = Reconstruct(c, res, locals[c.Rank()], 99)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var concat [][]byte
+	for pe := 0; pe < p; pe++ {
+		if len(fulls[pe]) != len(results[pe].Strings) {
+			t.Fatalf("PE %d: reconstructed %d of %d", pe, len(fulls[pe]), len(results[pe].Strings))
+		}
+		for i, full := range fulls[pe] {
+			if !bytes.HasPrefix(full, results[pe].Strings[i]) {
+				t.Fatalf("PE %d: %q not a prefix of %q", pe, results[pe].Strings[i], full)
+			}
+		}
+		concat = append(concat, fulls[pe]...)
+	}
+	if !strutil.IsSorted(concat) {
+		t.Fatal("reconstructed output not sorted")
+	}
+	if strutil.MultisetHash(concat) != strutil.MultisetHash(global) {
+		t.Fatal("reconstructed output not a permutation")
+	}
+}
+
+func TestLCPCompressionReducesVolume(t *testing.T) {
+	// High-LCP input: MS must send clearly fewer bytes than MS-simple.
+	var global [][]byte
+	prefix := bytes.Repeat([]byte("common"), 10)
+	for i := 0; i < 2000; i++ {
+		global = append(global, append(append([]byte{}, prefix...), []byte(fmt.Sprintf("%06d", i))...))
+	}
+	p := 8
+	locals := scatter(global, p)
+	_, mPlain := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		o := MSSimple()
+		o.GroupID = 1
+		return MergeSort(c, ss, o)
+	})
+	_, mLCP := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		o := DefaultMS()
+		o.GroupID = 1
+		return MergeSort(c, ss, o)
+	})
+	vPlain := mPlain.Report().TotalBytesSent()
+	vLCP := mLCP.Report().TotalBytesSent()
+	if vLCP*2 > vPlain {
+		t.Fatalf("LCP compression weak: MS=%d vs MS-simple=%d bytes", vLCP, vPlain)
+	}
+}
+
+func TestPDMSSavesVolumeWhenDSmall(t *testing.T) {
+	// D ≪ N: PDMS must send much less than MS.
+	global := genSmallD(2000, 200)
+	p := 8
+	locals := scatter(global, p)
+	_, mMS := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		o := DefaultMS()
+		o.GroupID = 1
+		return MergeSort(c, ss, o)
+	})
+	_, mPD := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		o := DefaultPDMS()
+		o.GroupID = 1
+		return PDMS(c, ss, o)
+	})
+	vMS := mMS.Report().TotalBytesSent()
+	vPD := mPD.Report().TotalBytesSent()
+	if vPD*3 > vMS {
+		t.Fatalf("PDMS volume %d not ≪ MS volume %d on small-D input", vPD, vMS)
+	}
+}
+
+func TestHQuickMovesMoreDataThanMergeSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	global := genRandom(rng, 3000, 20, 4)
+	p := 8
+	locals := scatter(global, p)
+	_, mHQ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		return HQuick(c, ss, HQOptions{GroupID: 1, Seed: 3, TrackPhases: true})
+	})
+	_, mMS := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		o := MSSimple()
+		o.GroupID = 1
+		return MergeSort(c, ss, o)
+	})
+	if mHQ.Report().TotalBytesSent() <= mMS.Report().TotalBytesSent() {
+		t.Fatalf("hQuick volume %d not above MS-simple volume %d",
+			mHQ.Report().TotalBytesSent(), mMS.Report().TotalBytesSent())
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		for _, n := range []int{0, 1, 2, p} {
+			global := genRandom(rand.New(rand.NewSource(int64(n))), n, 5, 2)
+			locals := scatter(global, p)
+			algos := map[string]func(c *comm.Comm, ss [][]byte) Result{
+				"MS": func(c *comm.Comm, ss [][]byte) Result {
+					o := DefaultMS()
+					o.GroupID = 1
+					return MergeSort(c, ss, o)
+				},
+				"FK": func(c *comm.Comm, ss [][]byte) Result {
+					return FKMerge(c, ss, FKOptions{GroupID: 1})
+				},
+				"HQ": func(c *comm.Comm, ss [][]byte) Result {
+					return HQuick(c, ss, HQOptions{GroupID: 1})
+				},
+			}
+			for name, algo := range algos {
+				results, _ := runDistributed(t, locals, algo)
+				checkGlobalOrder(t, global, results, true)
+				_ = name
+			}
+			// PDMS via reconstruction.
+			opt := DefaultPDMS()
+			opt.GroupID = 1
+			results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+				return PDMS(c, ss, opt)
+			})
+			full := reconstructPDMS(t, locals, results)
+			if len(full) != n || !strutil.IsSorted(full) {
+				t.Fatalf("p=%d n=%d: PDMS tiny input wrong", p, n)
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsAgreeOnReferenceOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	global := genRandom(rng, 1200, 15, 3)
+	ref := strutil.Clone(global)
+	sort.Slice(ref, func(i, j int) bool { return bytes.Compare(ref[i], ref[j]) < 0 })
+	p := 4
+	locals := scatter(global, p)
+
+	collect := func(results []Result) [][]byte {
+		var out [][]byte
+		for _, r := range results {
+			out = append(out, r.Strings...)
+		}
+		return out
+	}
+	msRes, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		o := DefaultMS()
+		o.GroupID = 1
+		return MergeSort(c, ss, o)
+	})
+	fkRes, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		return FKMerge(c, ss, FKOptions{GroupID: 1})
+	})
+	hqRes, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		return HQuick(c, ss, HQOptions{GroupID: 1, Seed: 11})
+	})
+	for name, got := range map[string][][]byte{
+		"MS": collect(msRes), "FK": collect(fkRes), "HQ": collect(hqRes),
+	} {
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d strings, want %d", name, len(got), len(ref))
+		}
+		for i := range ref {
+			if !bytes.Equal(got[i], ref[i]) {
+				t.Fatalf("%s: position %d: %q != %q", name, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestInputSlicesNotModified(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	global := genRandom(rng, 200, 10, 3)
+	p := 4
+	locals := scatter(global, p)
+	snapshots := make([][][]byte, p)
+	for pe := range locals {
+		snapshots[pe] = append([][]byte{}, locals[pe]...)
+	}
+	runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+		o := DefaultMS()
+		o.GroupID = 1
+		return MergeSort(c, ss, o)
+	})
+	for pe := range locals {
+		for i := range locals[pe] {
+			if len(locals[pe][i]) > 0 && &locals[pe][i][0] != &snapshots[pe][i][0] {
+				t.Fatalf("PE %d: input spine reordered", pe)
+			}
+			if !bytes.Equal(locals[pe][i], snapshots[pe][i]) {
+				t.Fatalf("PE %d: input string %d mutated", pe, i)
+			}
+		}
+	}
+}
+
+func TestPDMSTwoLevelAndHypercubeVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	global := genRandom(rng, 900, 24, 4)
+	for _, p := range []int{4, 8} {
+		locals := scatter(global, p)
+		opt := DefaultPDMS()
+		opt.GroupID = 1
+		opt.TwoLevelFingerprints = true
+		opt.HypercubeRouting = true
+		results, _ := runDistributed(t, locals, func(c *comm.Comm, ss [][]byte) Result {
+			return PDMS(c, ss, opt)
+		})
+		full := reconstructPDMS(t, locals, results)
+		if !strutil.IsSorted(full) {
+			t.Fatalf("p=%d: two-level/hypercube PDMS output not sorted", p)
+		}
+		if strutil.MultisetHash(full) != strutil.MultisetHash(global) {
+			t.Fatalf("p=%d: not a permutation", p)
+		}
+	}
+}

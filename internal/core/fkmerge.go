@@ -1,0 +1,72 @@
+package core
+
+import (
+	"dss/internal/comm"
+	"dss/internal/merge"
+	"dss/internal/partition"
+	"dss/internal/stats"
+	"dss/internal/strsort"
+	"dss/internal/wire"
+)
+
+// FKOptions configure the FKmerge baseline.
+type FKOptions struct {
+	// GroupID is the base communicator namespace.
+	GroupID int
+}
+
+// FKMerge is the distributed multiway string mergesort of Fischer and
+// Kurpicz (Section II-C), the only previously published distributed-memory
+// string sorter: local sort, deterministic regular sampling with p−1
+// samples per PE, *centralized* sorting of the p(p−1) samples on PE 0,
+// full-string all-to-all exchange and a plain (non-LCP) loser tree merge.
+// The centralized quadratic sample sort and the uncompressed exchange are
+// exactly the bottlenecks the paper's evaluation exposes beyond ~320 cores.
+func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
+	p := c.P()
+	local := cloneSpine(ss)
+
+	// Step 1: local sort (no LCP output needed: FKmerge never uses LCPs).
+	c.SetPhase(stats.PhaseLocalSort)
+	work := strsort.Sort(local, nil)
+	c.AddWork(work)
+	if p == 1 {
+		c.SetPhase(stats.PhaseOther)
+		return Result{Strings: local}
+	}
+
+	// Step 2: deterministic sampling, v = p−1 samples per PE, gathered and
+	// sorted on PE 0 (the paper notes this needs samples of quadratic
+	// size, costing a factor p in the minimal efficient input size).
+	splitters := partition.SelectSplitters(c, local, partition.Options{
+		V:        p - 1,
+		Sampling: partition.StringSampling,
+		GroupID:  opt.GroupID + 1,
+		// DistSort nil → centralized sort on PE 0.
+	})
+	off := partition.Buckets(local, splitters)
+
+	// Step 3: uncompressed all-to-all exchange.
+	c.SetPhase(stats.PhaseExchange)
+	g := comm.NewGroup(c, allRanks(p), opt.GroupID+8)
+	parts := make([][]byte, p)
+	for dst := 0; dst < p; dst++ {
+		parts[dst] = wire.EncodeStrings(local[off[dst]:off[dst+1]])
+	}
+	recvd := g.Alltoallv(parts)
+	runs := make([]merge.Sequence, p)
+	for src := 0; src < p; src++ {
+		rs, err := wire.DecodeStrings(recvd[src])
+		if err != nil {
+			panic("fkmerge: corrupt run: " + err.Error())
+		}
+		runs[src] = merge.Sequence{Strings: rs}
+	}
+
+	// Step 4: ordinary loser tree merge.
+	c.SetPhase(stats.PhaseMerge)
+	out, mwork := merge.Merge(runs)
+	c.AddWork(mwork)
+	c.SetPhase(stats.PhaseOther)
+	return Result{Strings: out.Strings}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"dss/internal/comm"
+	"dss/internal/merge"
+	"dss/internal/partition"
+	"dss/internal/stats"
+	"dss/internal/strsort"
+	"dss/internal/wire"
+)
+
+// MSOptions configure Algorithm MS (Section V). The zero value is the
+// MS-simple configuration; DefaultMS() enables all LCP optimizations.
+type MSOptions struct {
+	// LCPCompression enables the Step 3 exchange format that sends, per
+	// string, only the suffix beyond the LCP with the previous string.
+	LCPCompression bool
+	// LCPMerge selects the LCP-aware loser tree for Step 4 (and makes the
+	// algorithm produce the output LCP array). Without it a plain loser
+	// tree is used and no LCP data is communicated.
+	LCPMerge bool
+	// Sampling selects string- or character-based splitter sampling.
+	Sampling partition.Sampling
+	// V is the oversampling factor (samples per PE); default 2p−1 (v = Θ(p),
+	// aligned with the bucket quantiles).
+	V int
+	// CentralSampleSort sorts the splitter sample on PE 0 instead of with
+	// distributed hQuick.
+	CentralSampleSort bool
+	// TieBreak partitions by (string, origin) pairs so duplicated strings
+	// spread evenly over the PEs instead of piling onto one bucket — the
+	// Section VIII extension for duplicate-heavy inputs.
+	TieBreak bool
+	// RandomSampling draws random instead of regularly spaced samples
+	// (Section VIII).
+	RandomSampling bool
+	// GroupID is the base communicator namespace (the call consumes
+	// [GroupID, GroupID+16)).
+	GroupID int
+	// Seed drives hQuick's randomness during sample sorting.
+	Seed uint64
+}
+
+// DefaultMS returns the full Algorithm MS configuration: LCP compression,
+// LCP-aware merging, string-based sampling (the configuration the paper
+// benchmarks as "MS"), distributed sample sorting with hQuick.
+func DefaultMS() MSOptions {
+	return MSOptions{LCPCompression: true, LCPMerge: true}
+}
+
+// MSSimple returns the MS-simple configuration: the same mergesort scheme
+// with no LCP-related optimizations at all.
+func MSSimple() MSOptions {
+	return MSOptions{}
+}
+
+// MergeSort runs distributed string merge sort (Algorithm MS, Figure 1):
+//
+//  1. sort locally, producing the local LCP array;
+//  2. determine p−1 splitters by regular sampling and distributed (or
+//     centralized) sample sorting;
+//  3. all-to-all exchange of the buckets, optionally LCP-compressed;
+//  4. multiway merge of the p received runs, LCP-aware if configured.
+//
+// Every PE calls collectively with its local strings; PE i's result holds
+// the i-th fragment of the global sorted order.
+func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
+	p := c.P()
+	if opt.V <= 0 {
+		// Theory (Theorems 2–4) wants v = Θ(p). Choosing v ≡ −1 (mod p)
+		// aligns the local sample quantiles j/(v+1) with the bucket
+		// boundaries i/p, which brings the bucket bound of Theorem 2 from
+		// 1+p/v down to ~1.0 on evenly distributed inputs.
+		opt.V = 2*p - 1
+		if opt.V < 15 {
+			opt.V = 15
+		}
+	}
+	local := cloneSpine(ss)
+
+	// Step 1: local sort with LCP array.
+	c.SetPhase(stats.PhaseLocalSort)
+	var lcp []int32
+	var work int64
+	if opt.LCPMerge || opt.LCPCompression {
+		lcp, work = strsort.SortLCP(local, nil)
+	} else {
+		work = strsort.Sort(local, nil)
+	}
+	c.AddWork(work)
+	if p == 1 {
+		c.SetPhase(stats.PhaseOther)
+		return Result{Strings: local, LCPs: lcp}
+	}
+
+	// Step 2: splitter selection.
+	popt := partition.Options{
+		V:              opt.V,
+		Sampling:       opt.Sampling,
+		TieBreak:       opt.TieBreak,
+		RandomSampling: opt.RandomSampling,
+		Seed:           opt.Seed,
+		GroupID:        opt.GroupID + 1,
+	}
+	if !opt.CentralSampleSort {
+		seed := opt.Seed
+		popt.DistSort = func(cc *comm.Comm, samples [][]byte, gid int) [][]byte {
+			return HQuick(cc, samples, HQOptions{GroupID: gid, Seed: seed}).Strings
+		}
+	}
+	splitters := partition.SelectSplitters(c, local, popt)
+	var off []int
+	if opt.TieBreak {
+		off = partition.BucketsTie(local, c.Rank(), splitters)
+	} else {
+		off = partition.Buckets(local, splitters)
+	}
+
+	// Step 3: all-to-all bucket exchange.
+	c.SetPhase(stats.PhaseExchange)
+	g := comm.NewGroup(c, allRanks(p), opt.GroupID+8)
+	parts := make([][]byte, p)
+	for dst := 0; dst < p; dst++ {
+		lo, hi := off[dst], off[dst+1]
+		switch {
+		case opt.LCPCompression:
+			parts[dst] = wire.EncodeStringsLCP(local[lo:hi], lcpRun(lcp, lo, hi))
+		case opt.LCPMerge:
+			parts[dst] = encodeStringsWithLCPs(local[lo:hi], lcpRun(lcp, lo, hi))
+		default:
+			parts[dst] = wire.EncodeStrings(local[lo:hi])
+		}
+	}
+	recvd := g.Alltoallv(parts)
+	runs := make([]merge.Sequence, p)
+	for src := 0; src < p; src++ {
+		switch {
+		case opt.LCPCompression:
+			rs, rl, err := wire.DecodeStringsLCP(recvd[src])
+			if err != nil {
+				panic("mergesort: corrupt compressed run: " + err.Error())
+			}
+			runs[src] = merge.Sequence{Strings: rs, LCPs: rl}
+		case opt.LCPMerge:
+			rs, rl, err := decodeStringsWithLCPs(recvd[src])
+			if err != nil {
+				panic("mergesort: corrupt run: " + err.Error())
+			}
+			runs[src] = merge.Sequence{Strings: rs, LCPs: rl}
+		default:
+			rs, err := wire.DecodeStrings(recvd[src])
+			if err != nil {
+				panic("mergesort: corrupt run: " + err.Error())
+			}
+			runs[src] = merge.Sequence{Strings: rs}
+		}
+	}
+
+	// Step 4: multiway merge.
+	c.SetPhase(stats.PhaseMerge)
+	var out merge.Sequence
+	var mwork int64
+	if opt.LCPMerge {
+		out, mwork = merge.MergeLCP(runs)
+	} else {
+		out, mwork = merge.Merge(runs)
+	}
+	c.AddWork(mwork)
+	c.SetPhase(stats.PhaseOther)
+	return Result{Strings: out.Strings, LCPs: out.LCPs}
+}
+
+// lcpRun extracts the LCP slice of a bucket; the first entry is the
+// boundary with a string that stays on this PE, so it is zeroed (the first
+// string of a run always travels uncompressed).
+func lcpRun(lcp []int32, lo, hi int) []int32 {
+	if lo >= hi {
+		return nil
+	}
+	run := make([]int32, hi-lo)
+	copy(run, lcp[lo:hi])
+	run[0] = 0
+	return run
+}
+
+// encodeStringsWithLCPs is the no-compression, LCP-merging exchange format:
+// full strings plus the raw LCP array (the LCP values still enable the
+// cheaper merge even though the strings travel uncompressed).
+func encodeStringsWithLCPs(ss [][]byte, lcps []int32) []byte {
+	blob := wire.EncodeStrings(ss)
+	w := wire.NewBuffer(len(blob) + 4*len(lcps) + 16)
+	w.BytesPrefixed(blob)
+	w.BytesPrefixed(wire.EncodeInt32s(lcps))
+	return w.Bytes()
+}
+
+func decodeStringsWithLCPs(msg []byte) ([][]byte, []int32, error) {
+	r := wire.NewReader(msg)
+	blob, err := r.BytesPrefixed()
+	if err != nil {
+		return nil, nil, err
+	}
+	lblob, err := r.BytesPrefixed()
+	if err != nil {
+		return nil, nil, err
+	}
+	ss, err := wire.DecodeStrings(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	lcps, err := wire.DecodeInt32s(lblob)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(lcps) != len(ss) {
+		return nil, nil, wire.ErrCorrupt
+	}
+	return ss, lcps, nil
+}

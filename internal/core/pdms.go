@@ -1,0 +1,273 @@
+package core
+
+import (
+	"dss/internal/comm"
+	"dss/internal/dupdetect"
+	"dss/internal/merge"
+	"dss/internal/partition"
+	"dss/internal/stats"
+	"dss/internal/strsort"
+	"dss/internal/wire"
+)
+
+// PDMSOptions configure Algorithm PDMS (Section VI).
+type PDMSOptions struct {
+	// Eps is the geometric prefix growth factor of Step 1+ε; the default 1
+	// gives prefix doubling.
+	Eps float64
+	// Golomb enables Golomb coding of the duplicate detection fingerprints
+	// (the PDMS-Golomb variant of the evaluation).
+	Golomb bool
+	// InitialLen is the first prefix guess ℓ₀ (default 8).
+	InitialLen int
+	// TwoLevelFingerprints enables the two-round (32-bit, then 64-bit)
+	// fingerprint exchange of [Sanders-Schlag-Müller] in Step 1+ε.
+	TwoLevelFingerprints bool
+	// HypercubeRouting routes the Step 1+ε fingerprint all-to-alls along a
+	// hypercube: α·log p latency per round instead of α·p, at a log p
+	// volume factor (Theorem 6's latency variant).
+	HypercubeRouting bool
+	// V is the oversampling factor; default 2p−1 (see MergeSort).
+	V int
+	// Sampling defaults to character-based sampling weighted by the
+	// approximated distinguishing prefix lengths, which balances the
+	// actual communication and merge work (Section VI).
+	Sampling partition.Sampling
+	// StringSamplingOverride forces string-based sampling (the paper's
+	// benchmarked configuration uses string-based sampling for all
+	// algorithms; the skew experiment uses character-based).
+	StringSamplingOverride bool
+	// GroupID is the base communicator namespace (the call consumes
+	// [GroupID, GroupID+16)).
+	GroupID int
+	// Seed drives fingerprinting and hQuick randomness.
+	Seed uint64
+}
+
+// DefaultPDMS returns the evaluation configuration of algorithm PDMS:
+// prefix doubling (ε=1), no Golomb coding, string-based sampling over
+// distinguishing prefixes.
+func DefaultPDMS() PDMSOptions {
+	return PDMSOptions{Eps: 1, StringSamplingOverride: true}
+}
+
+// DefaultPDMSGolomb returns the PDMS-Golomb configuration.
+func DefaultPDMSGolomb() PDMSOptions {
+	o := DefaultPDMS()
+	o.Golomb = true
+	return o
+}
+
+// PDMS runs Distributed Prefix-Doubling String Merge Sort (Section VI):
+// Algorithm MS with an additional Step 1+ε that approximates each string's
+// distinguishing prefix length by distributed duplicate detection over
+// geometrically growing prefixes. Only those prefixes are sampled,
+// exchanged (LCP-compressed) and merged, so the bottleneck communication
+// volume drops to (1+ε)·D̂·log σ + O(n̂ log p + p·d̂·log σ·log p) bits
+// (Theorem 5) instead of Θ(N̂) — the decisive saving when D ≪ N.
+//
+// PDMS does not materialize the sorted full strings: the result holds the
+// sorted distinguishing prefixes plus the origin (PE, index) of each, which
+// is sufficient for search trees, pattern lookups and suffix sorting. Use
+// Reconstruct to fetch the full strings when needed.
+func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
+	p := c.P()
+	if opt.V <= 0 {
+		opt.V = 2*p - 1 // v = Θ(p), aligned: see MergeSort's default
+		if opt.V < 15 {
+			opt.V = 15
+		}
+	}
+	if opt.Eps <= 0 {
+		opt.Eps = 1
+	}
+	local := cloneSpine(ss)
+	sats := make([]uint64, len(local))
+	for i := range sats {
+		sats[i] = originSat(c.Rank(), i)
+	}
+
+	// Step 1: local sort with LCP array, carrying origins.
+	c.SetPhase(stats.PhaseLocalSort)
+	lcp, work := strsort.SortLCP(local, sats)
+	c.AddWork(work)
+
+	// Step 1+ε: approximate distinguishing prefix lengths.
+	dd := dupdetect.ApproxDist(c, local, dupdetect.Options{
+		Eps:        opt.Eps,
+		InitialLen: opt.InitialLen,
+		Golomb:     opt.Golomb,
+		TwoLevel:   opt.TwoLevelFingerprints,
+		Hypercube:  opt.HypercubeRouting,
+		Seed:       opt.Seed,
+		GroupID:    opt.GroupID + 2,
+	})
+	dist := dd.Dist
+
+	// Materialize the prefix view: transmitted string i is local[i][:dist[i]],
+	// and the prefix LCP array is the full LCP capped by both prefix
+	// lengths.
+	prefixes := make([][]byte, len(local))
+	plcp := make([]int32, len(local))
+	for i := range local {
+		prefixes[i] = local[i][:dist[i]]
+		if i > 0 {
+			h := lcp[i]
+			if dist[i-1] < h {
+				h = dist[i-1]
+			}
+			if dist[i] < h {
+				h = dist[i]
+			}
+			plcp[i] = h
+		}
+	}
+
+	if p == 1 {
+		origins := make([]Origin, len(sats))
+		for i, u := range sats {
+			origins[i] = satOrigin(u)
+		}
+		c.SetPhase(stats.PhaseOther)
+		return Result{Strings: prefixes, LCPs: plcp, Origins: origins, PrefixOnly: true}
+	}
+
+	// Step 2: splitters over the distinguishing prefixes — samples and
+	// splitters have length at most d̂, and character-based sampling uses
+	// the approximated prefix lengths as weights, balancing the work that
+	// is actually done (Theorem 5 analysis).
+	sampling := partition.CharSampling
+	if opt.StringSamplingOverride {
+		sampling = partition.StringSampling
+	} else if opt.Sampling == partition.StringSampling {
+		sampling = opt.Sampling
+	}
+	seed := opt.Seed
+	popt := partition.Options{
+		V:         opt.V,
+		Sampling:  sampling,
+		Weights:   dist,
+		Transform: func(i int) []byte { return prefixes[i] },
+		GroupID:   opt.GroupID + 5,
+		DistSort: func(cc *comm.Comm, samples [][]byte, gid int) [][]byte {
+			return HQuick(cc, samples, HQOptions{GroupID: gid, Seed: seed}).Strings
+		},
+	}
+	splitters := partition.SelectSplitters(c, local, popt)
+	// Buckets are computed over the prefixes: the transmitted prefixes
+	// preserve the order of the underlying strings (distinct strings never
+	// tie; see dupdetect), so bucketing prefixes against prefix splitters
+	// is globally consistent.
+	off := partition.Buckets(prefixes, splitters)
+
+	// Step 3: LCP-compressed all-to-all exchange of the prefixes plus
+	// their origins.
+	c.SetPhase(stats.PhaseExchange)
+	g := comm.NewGroup(c, allRanks(p), opt.GroupID+8)
+	parts := make([][]byte, p)
+	for dst := 0; dst < p; dst++ {
+		lo, hi := off[dst], off[dst+1]
+		blob := wire.EncodeStringsLCP(prefixes[lo:hi], lcpRun(plcp, lo, hi))
+		w := wire.NewBuffer(len(blob) + 8*(hi-lo) + 16)
+		w.BytesPrefixed(blob)
+		w.BytesPrefixed(wire.EncodeUint64s(sats[lo:hi]))
+		parts[dst] = w.Bytes()
+	}
+	recvd := g.Alltoallv(parts)
+	runs := make([]merge.Sequence, p)
+	for src := 0; src < p; src++ {
+		r := wire.NewReader(recvd[src])
+		blob, err1 := r.BytesPrefixed()
+		oblob, err2 := r.BytesPrefixed()
+		if err1 != nil || err2 != nil {
+			panic("pdms: corrupt exchange message")
+		}
+		rs, rl, err := wire.DecodeStringsLCP(blob)
+		if err != nil {
+			panic("pdms: corrupt prefix run: " + err.Error())
+		}
+		ro, err := wire.DecodeUint64s(oblob)
+		if err != nil || len(ro) != len(rs) {
+			panic("pdms: corrupt origin run")
+		}
+		runs[src] = merge.Sequence{Strings: rs, LCPs: rl, Sats: ro}
+	}
+
+	// Step 4: LCP-aware multiway merge of the prefix runs.
+	c.SetPhase(stats.PhaseMerge)
+	out, mwork := merge.MergeLCP(runs)
+	c.AddWork(mwork)
+	origins := make([]Origin, len(out.Sats))
+	for i, u := range out.Sats {
+		origins[i] = satOrigin(u)
+	}
+	c.SetPhase(stats.PhaseOther)
+	return Result{Strings: out.Strings, LCPs: out.LCPs, Origins: origins, PrefixOnly: true}
+}
+
+// Reconstruct materializes the full strings behind a PDMS result: every PE
+// queries the origin PEs of its output prefixes and receives the original
+// strings (one extra all-to-all in each direction). input must be the same
+// array the PE passed to PDMS. The returned array is aligned with
+// res.Strings. This models the paper's observation that a PE "can be
+// queried for the suffix and associated information" of an output string;
+// the query cost is excluded from the sorting volume only if the caller
+// resets statistics, which the benchmarks do.
+func Reconstruct(c *comm.Comm, res Result, input [][]byte, gid int) [][]byte {
+	p := c.P()
+	g := comm.NewGroup(c, allRanks(p), gid)
+	// Queries: per origin PE, the list of (my position, origin index).
+	type q struct{ pos, idx int }
+	perPE := make([][]q, p)
+	for pos, o := range res.Origins {
+		perPE[o.PE] = append(perPE[o.PE], q{pos: pos, idx: int(o.Index)})
+	}
+	parts := make([][]byte, p)
+	for pe := 0; pe < p; pe++ {
+		w := wire.NewBuffer(8 + 4*len(perPE[pe]))
+		w.Uvarint(uint64(len(perPE[pe])))
+		for _, qq := range perPE[pe] {
+			w.Uvarint(uint64(qq.idx))
+		}
+		parts[pe] = w.Bytes()
+	}
+	queries := g.Alltoallv(parts)
+	// Answer with the requested strings.
+	answers := make([][]byte, p)
+	for src := 0; src < p; src++ {
+		r := wire.NewReader(queries[src])
+		cnt, err := r.Uvarint()
+		if err != nil {
+			panic("pdms: corrupt reconstruction query")
+		}
+		resp := wire.NewBuffer(64)
+		resp.Uvarint(cnt)
+		for k := uint64(0); k < cnt; k++ {
+			idx, err := r.Uvarint()
+			if err != nil || idx >= uint64(len(input)) {
+				panic("pdms: reconstruction query out of range")
+			}
+			resp.BytesPrefixed(input[idx])
+		}
+		answers[src] = resp.Bytes()
+	}
+	got := g.Alltoallv(answers)
+	out := make([][]byte, len(res.Origins))
+	for pe := 0; pe < p; pe++ {
+		r := wire.NewReader(got[pe])
+		cnt, err := r.Uvarint()
+		if err != nil || cnt != uint64(len(perPE[pe])) {
+			panic("pdms: corrupt reconstruction answer")
+		}
+		for k := 0; k < int(cnt); k++ {
+			s, err := r.BytesPrefixed()
+			if err != nil {
+				panic("pdms: corrupt reconstruction answer")
+			}
+			cp := make([]byte, len(s))
+			copy(cp, s)
+			out[perPE[pe][k].pos] = cp
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package dupdetect
+
+import (
+	"math/rand"
+	"testing"
+
+	"dss/internal/comm"
+	"dss/internal/input"
+	"dss/internal/strutil"
+)
+
+// runEstimate distributes global strings and runs the estimator.
+func runEstimate(t *testing.T, global [][]byte, p, sampleSize int, seed uint64) EstimateResult {
+	t.Helper()
+	locals := make([][][]byte, p)
+	for i, s := range global {
+		locals[i%p] = append(locals[i%p], s)
+	}
+	m := comm.New(p)
+	results := make([]EstimateResult, p)
+	err := m.Run(func(c *comm.Comm) error {
+		results[c.Rank()] = EstimateD(c, locals[c.Rank()], sampleSize, seed, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 1; pe < p; pe++ {
+		if results[pe].AvgDist != results[0].AvgDist {
+			t.Fatalf("PEs disagree on estimate: %v vs %v", results[pe], results[0])
+		}
+	}
+	return results[0]
+}
+
+func trueDN(global [][]byte) float64 {
+	return float64(strutil.TotalD(global)) / float64(len(global))
+}
+
+func TestEstimateDRandomStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	var global [][]byte
+	for i := 0; i < 3000; i++ {
+		l := 8 + rng.Intn(16)
+		s := make([]byte, l)
+		for j := range s {
+			s[j] = byte('a' + rng.Intn(3))
+		}
+		global = append(global, s)
+	}
+	truth := trueDN(global)
+	res := runEstimate(t, global, 4, 600, 1)
+	if res.SampleSize < 300 || res.SampleSize > 1200 {
+		t.Fatalf("sample size %d far from target 600", res.SampleSize)
+	}
+	if res.AvgDist < 0.7*truth || res.AvgDist > 1.3*truth {
+		t.Fatalf("estimate %.2f outside ±30%% of true D/n %.2f", res.AvgDist, truth)
+	}
+}
+
+func TestEstimateDFullSampleIsExact(t *testing.T) {
+	// Sampling probability 1: the estimate must equal D/n exactly.
+	rng := rand.New(rand.NewSource(72))
+	var global [][]byte
+	for i := 0; i < 400; i++ {
+		l := 3 + rng.Intn(10)
+		s := make([]byte, l)
+		for j := range s {
+			s[j] = byte('a' + rng.Intn(2))
+		}
+		global = append(global, s)
+	}
+	truth := trueDN(global)
+	for _, p := range []int{1, 3, 8} {
+		res := runEstimate(t, global, p, 10*len(global), 1)
+		if res.SampleSize != len(global) {
+			t.Fatalf("p=%d: sampled %d of %d", p, res.SampleSize, len(global))
+		}
+		if diff := res.AvgDist - truth; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("p=%d: full-sample estimate %.4f != true %.4f", p, res.AvgDist, truth)
+		}
+	}
+}
+
+func TestEstimateDDuplicatesExcludeSelfOnly(t *testing.T) {
+	// Two copies of one string: DIST = len for both (the other copy forces
+	// full-length inspection). The estimator must not let the sampled
+	// occurrence "distinguish against itself" (which would give DIST 1).
+	global := [][]byte{
+		[]byte("twin-string"), []byte("twin-string"), []byte("other"),
+	}
+	res := runEstimate(t, global, 3, 100, 1)
+	// Full sample: avg = (11 + 11 + 1)/3.
+	want := (11.0 + 11.0 + 1.0) / 3.0
+	if diff := res.AvgDist - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("estimate %.3f, want %.3f", res.AvgDist, want)
+	}
+}
+
+func TestEstimateDDistinguishesEasyFromHardInstances(t *testing.T) {
+	// The Section VIII use case: pick a suffix-sorting strategy by D/n.
+	easy := input.SuffixInstance(input.SuffixConfig{TextLen: 3000, Seed: 3}, 0, 1)
+	hard := input.DN(input.DNConfig{StringsPerPE: 3000, Length: 100, Ratio: 0.9, Seed: 3}, 0, 1)
+	eRes := runEstimate(t, easy, 4, 400, 2)
+	hRes := runEstimate(t, hard, 4, 400, 2)
+	if eRes.AvgDist*4 > hRes.AvgDist {
+		t.Fatalf("estimator cannot separate easy (%.1f) from hard (%.1f)",
+			eRes.AvgDist, hRes.AvgDist)
+	}
+}
+
+func TestEstimateDEmptyInput(t *testing.T) {
+	res := runEstimate(t, nil, 3, 100, 1)
+	if res.SampleSize != 0 || res.AvgDist != 0 {
+		t.Fatalf("empty input gave %+v", res)
+	}
+}
+
+func TestEstimateDPrefixChains(t *testing.T) {
+	// a, aa, aaa, ...: DIST(s) = |s| for all but the longest (whose DIST
+	// is also |s| after capping). Exact full-sample check.
+	var global [][]byte
+	sum := 0.0
+	for k := 1; k <= 30; k++ {
+		global = append(global, make([]byte, k))
+		for j := 0; j < k; j++ {
+			global[len(global)-1][j] = 'a'
+		}
+		sum += float64(k)
+	}
+	res := runEstimate(t, global, 4, 1000, 1)
+	want := sum / 30
+	if diff := res.AvgDist - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("chain estimate %.3f, want %.3f", res.AvgDist, want)
+	}
+	if res.MaxDist != 30 {
+		t.Fatalf("MaxDist = %d, want 30", res.MaxDist)
+	}
+}

@@ -1,0 +1,78 @@
+// Package fingerprint computes 64-bit fingerprints of string prefixes for
+// the distributed duplicate detection of Section VI-A of the paper. The
+// hash is an incremental polynomial (multiply-accumulate with an odd
+// multiplier) finished with a splitmix64-style mixer. Crucially,
+// fingerprints extend incrementally: when prefix doubling grows a string's
+// inspected prefix from ℓ to ℓ', only the ℓ'−ℓ new characters are hashed,
+// keeping the local hashing work O(D̂) overall (Theorem 6).
+package fingerprint
+
+// State is the running polynomial state of one string's prefix. The zero
+// State is the hash of the empty prefix.
+type State struct {
+	h   uint64
+	pos int // number of characters absorbed so far
+}
+
+// Pos returns how many characters have been absorbed.
+func (s State) Pos() int { return s.pos }
+
+// Hasher produces fingerprints under a fixed seed. Two Hashers with the
+// same seed produce identical fingerprints on all PEs, which the duplicate
+// detection relies on.
+type Hasher struct {
+	mul  uint64
+	seed uint64
+}
+
+// New returns a Hasher for the given seed.
+func New(seed uint64) Hasher {
+	// Odd multiplier derived from the golden ratio; any odd constant works,
+	// seeding varies the finalization rather than the polynomial.
+	return Hasher{mul: 0x9e3779b97f4a7c15, seed: seed ^ 0xa0761d6478bd642f}
+}
+
+// Extend absorbs s[state.Pos():upto] into the state and returns the new
+// state. It panics if upto exceeds len(s) or precedes the current position.
+func (h Hasher) Extend(state State, s []byte, upto int) State {
+	if upto > len(s) || upto < state.pos {
+		panic("fingerprint: invalid extension range")
+	}
+	x := state.h
+	for _, c := range s[state.pos:upto] {
+		x = (x + uint64(c) + 1) * h.mul
+	}
+	return State{h: x, pos: upto}
+}
+
+// Finalize returns the fingerprint of the absorbed prefix. The prefix
+// length and the seed are mixed in so that equal polynomial states of
+// different lengths (or under different seeds) yield different values.
+func (h Hasher) Finalize(state State) uint64 {
+	return mix64(state.h ^ (uint64(state.pos) * 0xbf58476d1ce4e5b9) ^ h.seed)
+}
+
+// FinalizeTerminated returns the fingerprint of the absorbed prefix
+// followed by the end-of-string terminator. In the paper's model strings
+// are 0-terminated, so the prefix of a string s at any length beyond |s|
+// is s itself plus the terminator: it collides only with exact copies of
+// s, never with an equal-length prefix of a longer string. The duplicate
+// detection uses this for strings shorter than the current prefix guess.
+func (h Hasher) FinalizeTerminated(state State) uint64 {
+	return mix64(h.Finalize(state) ^ 0xd6e8feb86659fd93)
+}
+
+// Sum is a convenience one-shot fingerprint of s[:upto].
+func (h Hasher) Sum(s []byte, upto int) uint64 {
+	return h.Finalize(h.Extend(State{}, s, upto))
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,110 @@
+package fingerprint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	h := New(7)
+	s := []byte("the quick brown fox jumps over the lazy dog")
+	for upto := 0; upto <= len(s); upto++ {
+		// Grow in several steps.
+		st := State{}
+		for pos := 0; pos < upto; {
+			step := 1 + (pos % 5)
+			next := pos + step
+			if next > upto {
+				next = upto
+			}
+			st = h.Extend(st, s, next)
+			pos = next
+		}
+		if h.Finalize(st) != h.Sum(s, upto) {
+			t.Fatalf("incremental != one-shot at upto=%d", upto)
+		}
+	}
+}
+
+func TestEqualPrefixesHashEqual(t *testing.T) {
+	h := New(99)
+	a := []byte("prefix-sharing-alpha")
+	b := []byte("prefix-sharing-beta")
+	if h.Sum(a, 15) != h.Sum(b, 15) { // LCP(a,b) = 15
+		t.Fatal("equal prefixes produced different fingerprints")
+	}
+	if h.Sum(a, 16) == h.Sum(b, 16) {
+		t.Fatal("diverging prefixes collided (astronomically unlikely)")
+	}
+}
+
+func TestLengthDistinguishes(t *testing.T) {
+	// A zero byte extension must change the fingerprint even though the
+	// polynomial might absorb it weakly; the length tag guarantees it.
+	h := New(1)
+	s := []byte{0, 0, 0, 0}
+	seen := map[uint64]int{}
+	for upto := 0; upto <= len(s); upto++ {
+		v := h.Sum(s, upto)
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("prefix lengths %d and %d collide", prev, upto)
+		}
+		seen[v] = upto
+	}
+}
+
+func TestSeedsIndependent(t *testing.T) {
+	a, b := New(1), New(2)
+	s := []byte("seed sensitivity")
+	if a.Sum(s, len(s)) == b.Sum(s, len(s)) {
+		t.Fatal("different seeds produced equal fingerprints")
+	}
+}
+
+func TestDeterministicAcrossHasherInstances(t *testing.T) {
+	f := func(s []byte, seed uint64) bool {
+		if len(s) == 0 {
+			return true
+		}
+		return New(seed).Sum(s, len(s)) == New(seed).Sum(s, len(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollisionRateSane(t *testing.T) {
+	// 64-bit hash over 100k random short strings: expect zero collisions.
+	h := New(1234)
+	rng := rand.New(rand.NewSource(42))
+	seen := make(map[uint64][]byte, 100000)
+	for i := 0; i < 100000; i++ {
+		l := 1 + rng.Intn(12)
+		s := make([]byte, l)
+		for j := range s {
+			s[j] = byte(rng.Intn(4)) // small alphabet stresses mixing
+		}
+		v := h.Sum(s, len(s))
+		if prev, dup := seen[v]; dup && string(prev) != string(s) {
+			t.Fatalf("collision: %v vs %v", prev, s)
+		}
+		seen[v] = s
+	}
+}
+
+func TestExtendPanicsOnBadRange(t *testing.T) {
+	h := New(0)
+	s := []byte("abc")
+	st := h.Extend(State{}, s, 2)
+	for _, upto := range []int{1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Extend(upto=%d) did not panic", upto)
+				}
+			}()
+			h.Extend(st, s, upto)
+		}()
+	}
+}

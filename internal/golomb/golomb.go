@@ -1,0 +1,232 @@
+// Package golomb implements bit-level Golomb coding of monotone integer
+// sequences. PDMS-Golomb uses it to compress the sorted fingerprint sets
+// exchanged by the distributed duplicate detection (Section VI-A of the
+// paper, following [Sanders, Schlag, Müller 2013]): deltas of sorted
+// uniformly-distributed hashes are geometrically distributed, for which
+// Golomb codes with parameter M ≈ 0.69·(mean gap) are near-optimal.
+package golomb
+
+import (
+	"errors"
+	"math/bits"
+
+	"dss/internal/wire"
+)
+
+// ErrCorrupt is returned when a decode reads past the end of the stream.
+var ErrCorrupt = errors.New("golomb: corrupt stream")
+
+// BitWriter appends single bits and fixed-width bit fields to a byte slice,
+// most-significant-bit first within each byte.
+type BitWriter struct {
+	buf  []byte
+	nbit uint8 // bits used in the last byte (0..7; 0 means last byte full)
+}
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(b uint) {
+	if w.nbit == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (7 - w.nbit)
+	}
+	w.nbit = (w.nbit + 1) & 7
+}
+
+// WriteBits appends the low n bits of v, most significant first (n ≤ 64).
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// WriteUnary appends q 1-bits followed by a terminating 0-bit.
+func (w *BitWriter) WriteUnary(q uint64) {
+	for ; q > 0; q-- {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+// Bytes returns the encoded stream (the last byte is zero-padded).
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitLen returns the number of bits written so far.
+func (w *BitWriter) BitLen() int {
+	if w.nbit == 0 {
+		return len(w.buf) * 8
+	}
+	return (len(w.buf)-1)*8 + int(w.nbit)
+}
+
+// BitReader consumes a stream produced by BitWriter.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader returns a reader over the stream.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBit reads one bit.
+func (r *BitReader) ReadBit() (uint, error) {
+	if r.pos >= len(r.buf)*8 {
+		return 0, ErrCorrupt
+	}
+	b := r.buf[r.pos/8] >> (7 - uint(r.pos&7)) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits reads an n-bit big-endian field.
+func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded quotient.
+func (r *BitReader) ReadUnary() (uint64, error) {
+	var q uint64
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return q, nil
+		}
+		q++
+	}
+}
+
+// encodeValue writes v with Golomb parameter m (m ≥ 1): quotient v/m in
+// unary, remainder by truncated binary coding.
+func encodeValue(w *BitWriter, v, m uint64) {
+	q := v / m
+	rem := v % m
+	w.WriteUnary(q)
+	if m == 1 {
+		return
+	}
+	b := uint(bits.Len64(m - 1)) // ⌈log2 m⌉
+	cutoff := uint64(1)<<b - m   // number of short codewords
+	if rem < cutoff {
+		w.WriteBits(rem, b-1)
+	} else {
+		w.WriteBits(rem+cutoff, b)
+	}
+}
+
+// decodeValue reads one Golomb-coded value with parameter m.
+func decodeValue(r *BitReader, m uint64) (uint64, error) {
+	q, err := r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	if m == 1 {
+		return q, nil
+	}
+	b := uint(bits.Len64(m - 1))
+	cutoff := uint64(1)<<b - m
+	rem, err := r.ReadBits(b - 1)
+	if err != nil {
+		return 0, err
+	}
+	if rem >= cutoff {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		rem = rem<<1 | uint64(bit)
+		rem -= cutoff
+	}
+	return q*m + rem, nil
+}
+
+// ChooseM returns the Golomb parameter for n values spread over the range
+// [0, span]: M ≈ ln(2) · span/n, clamped to ≥ 1. This is the near-optimal
+// choice for geometrically distributed gaps of sorted uniform values.
+func ChooseM(span uint64, n int) uint64 {
+	if n <= 0 {
+		return 1
+	}
+	m := uint64(float64(span) / float64(n) * 0.6931471805599453)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// EncodeSorted Golomb-codes an ascending (not necessarily strictly) uint64
+// sequence: header (count, M, first value), then delta-coded gaps. The
+// caller must pass a sorted slice; duplicates are allowed (gap 0).
+func EncodeSorted(vals []uint64) []byte {
+	hdr := wire.NewBuffer(16)
+	hdr.Uvarint(uint64(len(vals)))
+	if len(vals) == 0 {
+		return hdr.Bytes()
+	}
+	span := vals[len(vals)-1] - vals[0]
+	m := ChooseM(span, len(vals))
+	hdr.Uvarint(m)
+	hdr.Uvarint(vals[0])
+	w := &BitWriter{}
+	prev := vals[0]
+	for _, v := range vals[1:] {
+		if v < prev {
+			panic("golomb: EncodeSorted input not sorted")
+		}
+		encodeValue(w, v-prev, m)
+		prev = v
+	}
+	out := hdr.Bytes()
+	return append(out, w.Bytes()...)
+}
+
+// DecodeSorted reverses EncodeSorted.
+func DecodeSorted(msg []byte) ([]uint64, error) {
+	r := wire.NewReader(msg)
+	cnt, err := r.Uvarint()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	if cnt == 0 {
+		return nil, nil
+	}
+	if cnt > uint64(len(msg))*9 { // each value needs ≥ 1 bit
+		return nil, ErrCorrupt
+	}
+	m, err := r.Uvarint()
+	if err != nil || m == 0 {
+		return nil, ErrCorrupt
+	}
+	first, err := r.Uvarint()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	rest, err := r.Raw(r.Remaining())
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	out := make([]uint64, 0, cnt)
+	out = append(out, first)
+	br := NewBitReader(rest)
+	prev := first
+	for i := uint64(1); i < cnt; i++ {
+		gap, err := decodeValue(br, m)
+		if err != nil {
+			return nil, err
+		}
+		prev += gap
+		out = append(out, prev)
+	}
+	return out, nil
+}

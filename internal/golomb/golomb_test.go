@@ -1,0 +1,179 @@
+package golomb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReaderRoundtrip(t *testing.T) {
+	w := &BitWriter{}
+	w.WriteBit(1)
+	w.WriteBit(0)
+	w.WriteBits(0b10110, 5)
+	w.WriteUnary(7)
+	w.WriteBits(0xdead, 16)
+	r := NewBitReader(w.Bytes())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("bit 0")
+	}
+	if b, _ := r.ReadBit(); b != 0 {
+		t.Fatal("bit 1")
+	}
+	if v, _ := r.ReadBits(5); v != 0b10110 {
+		t.Fatalf("bits = %b", v)
+	}
+	if q, _ := r.ReadUnary(); q != 7 {
+		t.Fatalf("unary = %d", q)
+	}
+	if v, _ := r.ReadBits(16); v != 0xdead {
+		t.Fatalf("field = %x", v)
+	}
+}
+
+func TestBitReaderEOF(t *testing.T) {
+	r := NewBitReader(nil)
+	if _, err := r.ReadBit(); err != ErrCorrupt {
+		t.Fatalf("err = %v", err)
+	}
+	w := &BitWriter{}
+	w.WriteUnary(3)
+	r = NewBitReader(w.Bytes())
+	r.ReadUnary()
+	// Padding zeros decode as unary 0s until exhaustion; eventually EOF.
+	for i := 0; i < 20; i++ {
+		if _, err := r.ReadBit(); err != nil {
+			return
+		}
+	}
+	t.Fatal("no EOF after stream end")
+}
+
+func TestGolombValueRoundtripAllM(t *testing.T) {
+	for _, m := range []uint64{1, 2, 3, 4, 5, 7, 8, 13, 64, 100, 1 << 20} {
+		w := &BitWriter{}
+		vals := []uint64{0, 1, 2, 3, m - 1, m, m + 1, 2*m + 3, 1000000}
+		for _, v := range vals {
+			encodeValue(w, v, m)
+		}
+		r := NewBitReader(w.Bytes())
+		for _, v := range vals {
+			got, err := decodeValue(r, m)
+			if err != nil || got != v {
+				t.Fatalf("m=%d: got %d (%v), want %d", m, got, err, v)
+			}
+		}
+	}
+}
+
+func TestEncodeSortedRoundtrip(t *testing.T) {
+	cases := [][]uint64{
+		nil,
+		{},
+		{0},
+		{42},
+		{1, 1, 1, 1},
+		{0, 1, 2, 3, 4, 5},
+		{5, 1000, 1000, 123456789, 1 << 62},
+	}
+	for _, vals := range cases {
+		got, err := DecodeSorted(EncodeSorted(vals))
+		if err != nil {
+			t.Fatalf("%v: %v", vals, err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("count %d, want %d", len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("%v: position %d = %d", vals, i, got[i])
+			}
+		}
+	}
+}
+
+func TestEncodeSortedQuick(t *testing.T) {
+	f := func(raw []uint64) bool {
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		got, err := DecodeSorted(EncodeSorted(raw))
+		if err != nil || len(got) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if got[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGolombCompressesUniformHashes(t *testing.T) {
+	// n sorted uniform 64-bit values: raw encoding costs 8 bytes each;
+	// Golomb delta coding should get close to the entropy
+	// log2(range/n) + ~1.5 bits ≈ 64 - log2(n) + 1.5 bits per value.
+	rng := rand.New(rand.NewSource(31))
+	n := 10000
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	enc := EncodeSorted(vals)
+	bitsPer := float64(len(enc)*8) / float64(n)
+	if bitsPer > 56 {
+		t.Fatalf("golomb coding ineffective: %.1f bits/value", bitsPer)
+	}
+	if bitsPer < 45 {
+		t.Fatalf("suspiciously small: %.1f bits/value (entropy ≈ 52.2)", bitsPer)
+	}
+}
+
+func TestGolombDenseSequenceCompressesHard(t *testing.T) {
+	vals := make([]uint64, 5000)
+	for i := range vals {
+		vals[i] = uint64(i * 3)
+	}
+	enc := EncodeSorted(vals)
+	if len(enc)*8 > 5*len(vals) {
+		t.Fatalf("dense sequence: %d bits for %d values", len(enc)*8, len(vals))
+	}
+	got, err := DecodeSorted(enc)
+	if err != nil || len(got) != len(vals) {
+		t.Fatal("roundtrip failed")
+	}
+}
+
+func TestChooseM(t *testing.T) {
+	if ChooseM(0, 10) != 1 {
+		t.Fatal("zero span must clamp to 1")
+	}
+	if ChooseM(1000, 0) != 1 {
+		t.Fatal("zero count must clamp to 1")
+	}
+	m := ChooseM(1<<40, 1000)
+	if m < 1<<28 || m > 1<<31 {
+		t.Fatalf("M = %d out of plausible range", m)
+	}
+}
+
+func TestDecodeSortedCorrupt(t *testing.T) {
+	// Claim many values with no payload.
+	msg := EncodeSorted([]uint64{1, 2, 3})
+	if _, err := DecodeSorted(msg[:2]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestEncodeSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted input accepted")
+		}
+	}()
+	EncodeSorted([]uint64{5, 3})
+}

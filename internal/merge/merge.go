@@ -1,0 +1,257 @@
+// Package merge implements K-way merging of sorted string runs with loser
+// trees (tournament trees): the classic atomic variant used by the FKmerge
+// baseline, and the LCP-aware variant of Section II-B of the paper
+// [Bingmann, Eberle, Sanders: Engineering Parallel String Sorting], which
+// merges m strings with at most m·log K + ΔL character comparisons, where
+// ΔL is the total increment of the LCP array entries — every character is
+// inspected only once across the whole merge.
+//
+// Both variants optionally carry one word of satellite data per string
+// through the merge and break ties by input run index, making the merge
+// stable with respect to the run order (runs arrive ordered by source PE,
+// so equal strings stay ordered by origin).
+package merge
+
+import (
+	"dss/internal/strutil"
+)
+
+// Sequence is one sorted input run and the merged output format.
+type Sequence struct {
+	Strings [][]byte
+	LCPs    []int32  // LCPs[i] = LCP(Strings[i-1], Strings[i]); LCPs[0] = 0
+	Sats    []uint64 // optional satellite data, parallel to Strings
+}
+
+// Len returns the number of strings in the sequence.
+func (s Sequence) Len() int { return len(s.Strings) }
+
+// Merge performs a K-way merge with a plain (non-LCP) loser tree, the
+// merging strategy of FKmerge and MS-simple. Input LCP arrays are ignored;
+// the output has no LCP array. Returns the merged run and the number of
+// characters inspected.
+func Merge(seqs []Sequence) (Sequence, int64) {
+	return run(seqs, false)
+}
+
+// MergeLCP performs a K-way merge with the LCP loser tree: it consumes the
+// runs' LCP arrays, inspects each character at most once, and produces the
+// LCP array of the output.
+func MergeLCP(seqs []Sequence) (Sequence, int64) {
+	return run(seqs, true)
+}
+
+// tree is the array-based loser tree over K streams (K padded to a power
+// of two with exhausted sentinel streams). Internal nodes 1..k-1 store the
+// loser stream of the comparison at that node; leaves are implicit.
+type tree struct {
+	k      int   // number of leaves, power of two
+	loser  []int // loser[node] for node in [1,k)
+	pos    []int // per-stream read position
+	seqs   []Sequence
+	curH   []int32 // per-stream LCP of current head with the last output
+	useLCP bool
+	work   int64
+}
+
+func (t *tree) head(s int) []byte {
+	if s >= len(t.seqs) || t.pos[s] >= t.seqs[s].Len() {
+		return nil // exhausted: +∞ sentinel
+	}
+	return t.seqs[s].Strings[t.pos[s]]
+}
+
+// lessPlain compares stream heads with full comparisons; nil is +∞ and
+// ties break toward the lower stream index.
+func (t *tree) lessPlain(a, b int) bool {
+	sa, sb := t.head(a), t.head(b)
+	switch {
+	case sa == nil && sb == nil:
+		return a < b
+	case sa == nil:
+		return false
+	case sb == nil:
+		return true
+	}
+	cmp, lcp := strutil.CompareLCP(sa, sb, 0)
+	t.work += int64(lcp + 1)
+	if cmp == 0 {
+		return a < b
+	}
+	return cmp < 0
+}
+
+// lessLCP compares stream heads using the LCP-compare rule: both heads are
+// ≥ the last output w and curH[s] = LCP(head(s), w), so if the curH values
+// differ the head with the longer shared prefix is smaller, without looking
+// at a single character. On equality it compares from the shared prefix and
+// updates the loser's curH to LCP(a, b) so the invariant (curH of a node's
+// loser = LCP with the winner that passed the node) is maintained.
+func (t *tree) lessLCP(a, b int) bool {
+	sa, sb := t.head(a), t.head(b)
+	switch {
+	case sa == nil && sb == nil:
+		return a < b
+	case sa == nil:
+		return false
+	case sb == nil:
+		return true
+	}
+	ha, hb := t.curH[a], t.curH[b]
+	switch {
+	case ha > hb:
+		// a shares more with w: a < b, and LCP(a,b) = hb = curH[b]. b is
+		// the loser and its curH already equals LCP with the new winner.
+		return true
+	case ha < hb:
+		return false
+	default:
+		cmp, lcp := strutil.CompareLCP(sa, sb, int(ha))
+		t.work += int64(lcp - int(ha) + 1)
+		if cmp < 0 || (cmp == 0 && a < b) {
+			t.curH[b] = int32(lcp) // b loses to a
+			return true
+		}
+		t.curH[a] = int32(lcp) // a loses to b
+		return false
+	}
+}
+
+func (t *tree) less(a, b int) bool {
+	if t.useLCP {
+		return t.lessLCP(a, b)
+	}
+	return t.lessPlain(a, b)
+}
+
+// initNode plays the initial tournament of the subtree rooted at node and
+// returns its winner stream.
+func (t *tree) initNode(node int) int {
+	if node >= t.k {
+		return node - t.k
+	}
+	l := t.initNode(2 * node)
+	r := t.initNode(2*node + 1)
+	if t.less(l, r) {
+		t.loser[node] = r
+		return l
+	}
+	t.loser[node] = l
+	return r
+}
+
+// run merges the sequences.
+func run(seqs []Sequence, useLCP bool) (Sequence, int64) {
+	total := 0
+	streams := 0
+	anySats := false
+	for _, s := range seqs {
+		total += s.Len()
+		if s.Len() > 0 {
+			streams++
+		}
+		if s.Sats != nil {
+			anySats = true
+		}
+		if useLCP && s.Len() > 0 && s.LCPs == nil {
+			panic("merge: MergeLCP requires input LCP arrays")
+		}
+		if s.Sats != nil && len(s.Sats) != s.Len() {
+			panic("merge: satellite length mismatch")
+		}
+		if s.LCPs != nil && len(s.LCPs) != s.Len() {
+			panic("merge: lcp length mismatch")
+		}
+	}
+	out := Sequence{Strings: make([][]byte, 0, total)}
+	if useLCP {
+		out.LCPs = make([]int32, 0, total)
+	}
+	if anySats {
+		out.Sats = make([]uint64, 0, total)
+	}
+	if total == 0 {
+		return out, 0
+	}
+	// Fast path: a single non-empty stream passes through.
+	if streams == 1 {
+		for _, s := range seqs {
+			if s.Len() == 0 {
+				continue
+			}
+			out.Strings = append(out.Strings, s.Strings...)
+			if useLCP {
+				out.LCPs = append(out.LCPs, s.LCPs...)
+				if len(out.LCPs) > 0 {
+					out.LCPs[0] = 0
+				}
+			}
+			if anySats {
+				out.Sats = appendSats(out.Sats, s, s.Len())
+			}
+		}
+		return out, 0
+	}
+
+	k := 1
+	for k < len(seqs) {
+		k <<= 1
+	}
+	t := &tree{
+		k:      k,
+		loser:  make([]int, k),
+		pos:    make([]int, len(seqs)),
+		seqs:   seqs,
+		curH:   make([]int32, len(seqs)),
+		useLCP: useLCP,
+	}
+	winner := t.initNode(1)
+	for produced := 0; produced < total; produced++ {
+		w := t.head(winner)
+		out.Strings = append(out.Strings, w)
+		if useLCP {
+			out.LCPs = append(out.LCPs, t.curH[winner])
+		}
+		if anySats {
+			s := seqs[winner]
+			var v uint64
+			if s.Sats != nil {
+				v = s.Sats[t.pos[winner]]
+			}
+			out.Sats = append(out.Sats, v)
+		}
+		// Advance the winner's stream: the new head's LCP with the last
+		// output w is exactly the stream's own LCP entry, because w was
+		// the previous element of that stream.
+		t.pos[winner]++
+		if useLCP {
+			if t.pos[winner] < seqs[winner].Len() {
+				t.curH[winner] = seqs[winner].LCPs[t.pos[winner]]
+			} else {
+				t.curH[winner] = 0
+			}
+		}
+		// Replay the path from the winner's leaf to the root.
+		node := (winner + t.k) / 2
+		for node >= 1 {
+			if t.less(t.loser[node], winner) {
+				t.loser[node], winner = winner, t.loser[node]
+			}
+			node /= 2
+		}
+	}
+	if useLCP && len(out.LCPs) > 0 {
+		out.LCPs[0] = 0
+	}
+	return out, t.work
+}
+
+func appendSats(dst []uint64, s Sequence, n int) []uint64 {
+	if s.Sats != nil {
+		return append(dst, s.Sats[:n]...)
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	return dst
+}

@@ -1,0 +1,146 @@
+package partition
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Tie breaking (Section VIII, "one could remove load balancing problems
+// due to duplicate strings by tie breaking techniques", after [Axtmann &
+// Sanders, Robust Massively Parallel Sorting]).
+//
+// With plain splitters, all copies of a duplicated string fall into the
+// same bucket: an input consisting of one repeated string sends everything
+// to one PE. Tie breaking augments every string s with a globally unique
+// tag (origin PE, local index) and partitions by the pair (s, tag), which
+// splits runs of equal strings evenly across buckets.
+//
+// The pair is mapped to a single byte key whose plain lexicographic order
+// equals the lexicographic order of (s, tag), so the distributed sample
+// sorter (hQuick) can sort tie keys like ordinary strings:
+//
+//	enc(s, tag) = escape(s) ‖ 0x00 ‖ tag (8 bytes big-endian)
+//
+// where escape replaces byte b < 2 by the pair (0x01, b). The terminator
+// 0x00 is strictly smaller than every escaped byte, so a proper prefix
+// still sorts first, and the tag is only reached when the strings are
+// byte-equal.
+
+// TieKey encodes (s, tag) into an order-preserving byte key.
+func TieKey(s []byte, tag uint64) []byte {
+	out := make([]byte, 0, len(s)+10)
+	for _, b := range s {
+		if b < 2 {
+			out = append(out, 0x01, b)
+		} else {
+			out = append(out, b)
+		}
+	}
+	out = append(out, 0x00)
+	return binary.BigEndian.AppendUint64(out, tag)
+}
+
+// CompareTie compares the pair (s, tag) against an encoded tie key without
+// materializing the pair's own encoding.
+func CompareTie(s []byte, tag uint64, key []byte) int {
+	pos := 0
+	for _, b := range s {
+		var eb [2]byte
+		n := 1
+		if b < 2 {
+			eb[0], eb[1] = 0x01, b
+			n = 2
+		} else {
+			eb[0] = b
+		}
+		for k := 0; k < n; k++ {
+			if pos >= len(key) {
+				return 1 // key exhausted: key is a strict prefix
+			}
+			if eb[k] != key[pos] {
+				if eb[k] < key[pos] {
+					return -1
+				}
+				return 1
+			}
+			pos++
+		}
+	}
+	// s consumed; the key must now hold the terminator.
+	if pos >= len(key) {
+		return 1
+	}
+	if key[pos] != 0x00 {
+		return -1 // key continues with string bytes: s is a proper prefix
+	}
+	pos++
+	if pos+8 > len(key) {
+		return 1 // malformed/truncated tag sorts first
+	}
+	ktag := binary.BigEndian.Uint64(key[pos:])
+	switch {
+	case tag < ktag:
+		return -1
+	case tag > ktag:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DecodeTieKey recovers (s, tag) from an encoded key (testing helper).
+func DecodeTieKey(key []byte) ([]byte, uint64, bool) {
+	var s []byte
+	i := 0
+	for i < len(key) {
+		b := key[i]
+		if b == 0x00 {
+			if i+9 != len(key) {
+				return nil, 0, false
+			}
+			return s, binary.BigEndian.Uint64(key[i+1:]), true
+		}
+		if b == 0x01 {
+			if i+1 >= len(key) {
+				return nil, 0, false
+			}
+			s = append(s, key[i+1])
+			i += 2
+			continue
+		}
+		s = append(s, b)
+		i++
+	}
+	return nil, 0, false
+}
+
+// BucketsTie computes bucket boundaries like Buckets, but against
+// tie-key splitters: string k is compared as the pair
+// (ss[k], tag(rank, k)). ss must be locally sorted; equal strings are
+// ordered by their position, which makes the pair order globally
+// consistent.
+func BucketsTie(ss [][]byte, rank int, splitters [][]byte) []int {
+	p := len(splitters) + 1
+	off := make([]int, p+1)
+	off[p] = len(ss)
+	for i := 1; i < p; i++ {
+		f := splitters[i-1]
+		off[i] = sort.Search(len(ss), func(k int) bool {
+			return CompareTie(ss[k], tieTag(rank, k), f) > 0
+		})
+	}
+	for i := 1; i <= p; i++ {
+		if off[i] < off[i-1] {
+			panic("partition: non-monotone tie-break offsets")
+		}
+	}
+	return off
+}
+
+// tieTag builds the unique tag of the k-th sorted string of a PE.
+func tieTag(rank, k int) uint64 {
+	return uint64(uint32(rank))<<32 | uint64(uint32(k))
+}
+
+// TieTag is the exported tag constructor (rank, sorted position).
+func TieTag(rank, k int) uint64 { return tieTag(rank, k) }

@@ -1,0 +1,321 @@
+// Package stats provides per-PE, per-phase accounting of communication
+// volume, message counts and local work for the distributed string sorting
+// algorithms, together with the α-β machine cost model from Section II of
+// the paper (Bingmann, Sanders, Schimek: "Communication-Efficient String
+// Sorting", IPDPS 2020).
+//
+// The paper reports two metrics per experiment: running time and bytes sent
+// per string. Communication volume is hardware independent and is counted
+// exactly at the send boundary of the message-passing substrate. Running
+// time on the original 1280-core InfiniBand cluster cannot be measured
+// faithfully on a single host, so the harness additionally computes a
+// deterministic model time
+//
+//	T = Σ_phase [ max_PE(work)/Rate + α·max_PE(messages) + β·max_PE(bytes) ]
+//
+// which preserves the relative shapes (who wins, where the crossovers fall)
+// that the paper's evaluation establishes.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Phase identifies an algorithm phase for accounting purposes. Every send,
+// receive and unit of local work is attributed to the phase the PE is
+// currently in.
+type Phase int
+
+// Phases of the distributed string sorting algorithms. They correspond to
+// the four steps of Figure 1 of the paper plus the prefix-doubling step
+// (1+ε) of PDMS and a catch-all for everything else.
+const (
+	PhaseOther     Phase = iota // setup, redistribution, verification
+	PhaseLocalSort              // Step 1: sequential local sorting
+	PhaseDupDetect              // Step 1+ε: distinguishing prefix approximation
+	PhasePartition              // Step 2: sampling and splitter selection
+	PhaseExchange               // Step 3: all-to-all string exchange
+	PhaseMerge                  // Step 4: multiway merging
+	NumPhases
+)
+
+// String returns the human-readable phase name.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseOther:
+		return "other"
+	case PhaseLocalSort:
+		return "local_sort"
+	case PhaseDupDetect:
+		return "dup_detect"
+	case PhasePartition:
+		return "partition"
+	case PhaseExchange:
+		return "exchange"
+	case PhaseMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("phase(%d)", int(ph))
+	}
+}
+
+// PhaseCounters accumulates the per-phase totals of one PE.
+type PhaseCounters struct {
+	BytesSent int64 // payload bytes sent to other PEs (self-sends excluded)
+	BytesRecv int64 // payload bytes received from other PEs
+	Messages  int64 // number of point-to-point messages sent to other PEs
+	Work      int64 // local work units (characters inspected/moved)
+}
+
+// PE holds the accounting state of a single processing element. A PE value
+// is owned by exactly one goroutine while an algorithm runs; it must only be
+// read by other goroutines after the machine has finished.
+type PE struct {
+	Rank   int
+	Phases [NumPhases]PhaseCounters
+}
+
+// Add accumulates the counters of a phase.
+func (pe *PE) Add(ph Phase, c PhaseCounters) {
+	p := &pe.Phases[ph]
+	p.BytesSent += c.BytesSent
+	p.BytesRecv += c.BytesRecv
+	p.Messages += c.Messages
+	p.Work += c.Work
+}
+
+// Total returns the sum of all phase counters of the PE.
+func (pe *PE) Total() PhaseCounters {
+	var t PhaseCounters
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		c := pe.Phases[ph]
+		t.BytesSent += c.BytesSent
+		t.BytesRecv += c.BytesRecv
+		t.Messages += c.Messages
+		t.Work += c.Work
+	}
+	return t
+}
+
+// CostModel holds the α-β machine parameters of Section II plus a local
+// compute rate. The defaults are calibrated to a 2013-era InfiniBand 4X FDR
+// cluster like ForHLR I: a few microseconds of message startup latency,
+// roughly 5 GB/s point-to-point bandwidth per node, and a sequential string
+// sorting rate in the hundreds of millions of characters per second.
+type CostModel struct {
+	Alpha float64 // seconds per message (startup latency)
+	Beta  float64 // seconds per payload byte
+	Rate  float64 // local work units (characters) per second
+}
+
+// DefaultModel returns the calibrated default cost model.
+func DefaultModel() CostModel {
+	return CostModel{
+		Alpha: 2e-6,    // 2 µs startup latency
+		Beta:  2.5e-10, // 4 GB/s effective bandwidth
+		Rate:  250e6,   // 250 M characters per second local work
+	}
+}
+
+// Report aggregates the accounting of all PEs of one algorithm run.
+type Report struct {
+	P     int
+	PEs   []*PE
+	Model CostModel
+}
+
+// NewReport creates a report over the given PEs.
+func NewReport(pes []*PE, model CostModel) *Report {
+	return &Report{P: len(pes), PEs: pes, Model: model}
+}
+
+// phaseMax returns, for one phase, the maxima over all PEs of the individual
+// counters (bottleneck values in the sense of the paper's analysis).
+func (r *Report) phaseMax(ph Phase) PhaseCounters {
+	var m PhaseCounters
+	for _, pe := range r.PEs {
+		c := pe.Phases[ph]
+		if c.BytesSent > m.BytesSent {
+			m.BytesSent = c.BytesSent
+		}
+		if c.BytesRecv > m.BytesRecv {
+			m.BytesRecv = c.BytesRecv
+		}
+		if c.Messages > m.Messages {
+			m.Messages = c.Messages
+		}
+		if c.Work > m.Work {
+			m.Work = c.Work
+		}
+	}
+	return m
+}
+
+// PhaseTime returns the model time of a single phase: the bottleneck local
+// work plus the α-β cost of the bottleneck communication.
+func (r *Report) PhaseTime(ph Phase) float64 {
+	m := r.phaseMax(ph)
+	bytes := m.BytesSent
+	if m.BytesRecv > bytes {
+		bytes = m.BytesRecv
+	}
+	return float64(m.Work)/r.Model.Rate +
+		r.Model.Alpha*float64(m.Messages) +
+		r.Model.Beta*float64(bytes)
+}
+
+// ModelTime returns the total model running time: the sum of the per-phase
+// bottleneck times. Summing per phase (rather than per PE) reflects that
+// the phases are separated by collective operations that act as barriers.
+func (r *Report) ModelTime() float64 {
+	var t float64
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		t += r.PhaseTime(ph)
+	}
+	return t
+}
+
+// TotalBytesSent returns the sum over all PEs of bytes sent.
+func (r *Report) TotalBytesSent() int64 {
+	var b int64
+	for _, pe := range r.PEs {
+		b += pe.Total().BytesSent
+	}
+	return b
+}
+
+// TotalMessages returns the sum over all PEs of messages sent.
+func (r *Report) TotalMessages() int64 {
+	var m int64
+	for _, pe := range r.PEs {
+		m += pe.Total().Messages
+	}
+	return m
+}
+
+// TotalWork returns the sum over all PEs of local work units.
+func (r *Report) TotalWork() int64 {
+	var w int64
+	for _, pe := range r.PEs {
+		w += pe.Total().Work
+	}
+	return w
+}
+
+// MaxBytesSent returns the bottleneck send volume: the maximum over PEs.
+func (r *Report) MaxBytesSent() int64 {
+	var b int64
+	for _, pe := range r.PEs {
+		if s := pe.Total().BytesSent; s > b {
+			b = s
+		}
+	}
+	return b
+}
+
+// MaxBytesRecv returns the bottleneck receive volume: the maximum over PEs
+// of bytes received. This is the load-balancing metric of the skew
+// experiment — a PE that receives a disproportionate share of characters
+// is the straggler of the exchange and merge phases.
+func (r *Report) MaxBytesRecv() int64 {
+	var b int64
+	for _, pe := range r.PEs {
+		var recv int64
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			recv += pe.Phases[ph].BytesRecv
+		}
+		if recv > b {
+			b = recv
+		}
+	}
+	return b
+}
+
+// MeanBytesRecv returns the average per-PE receive volume.
+func (r *Report) MeanBytesRecv() float64 {
+	if len(r.PEs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, pe := range r.PEs {
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			sum += pe.Phases[ph].BytesRecv
+		}
+	}
+	return float64(sum) / float64(len(r.PEs))
+}
+
+// BytesPerString returns the average communication volume per input string,
+// the metric of the lower panels of Figures 4 and 5 of the paper.
+func (r *Report) BytesPerString(n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(r.TotalBytesSent()) / float64(n)
+}
+
+// Table formats a per-phase breakdown as an aligned text table.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %14s %10s %14s %10s\n",
+		"phase", "bytes_sent", "bytes_recv", "messages", "work", "time_s")
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		var sent, recv, msgs, work int64
+		for _, pe := range r.PEs {
+			c := pe.Phases[ph]
+			sent += c.BytesSent
+			recv += c.BytesRecv
+			msgs += c.Messages
+			work += c.Work
+		}
+		if sent == 0 && recv == 0 && msgs == 0 && work == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %14d %14d %10d %14d %10.4f\n",
+			ph, sent, recv, msgs, work, r.PhaseTime(ph))
+	}
+	fmt.Fprintf(&b, "%-12s %14d %14s %10d %14d %10.4f\n",
+		"total", r.TotalBytesSent(), "", r.TotalMessages(), r.TotalWork(), r.ModelTime())
+	return b.String()
+}
+
+// Imbalance returns the ratio of the maximum to the mean per-PE total work,
+// a load balancing quality indicator (1.0 is perfect).
+func (r *Report) Imbalance() float64 {
+	if len(r.PEs) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, pe := range r.PEs {
+		w := pe.Total().Work
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(r.PEs))
+	return float64(max) / mean
+}
+
+// WorkQuantiles returns the given quantiles (in [0,1]) of per-PE total work.
+func (r *Report) WorkQuantiles(qs ...float64) []int64 {
+	ws := make([]int64, len(r.PEs))
+	for i, pe := range r.PEs {
+		ws[i] = pe.Total().Work
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		if len(ws) == 0 {
+			continue
+		}
+		idx := int(q * float64(len(ws)-1))
+		out[i] = ws[idx]
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package strsort
+
+import "math/rand"
+
+// Sequential string sample sort, the alternative base-case sorter the
+// paper's Section II-A points to for large alphabets and skewed inputs
+// ("sample sort [Bingmann & Sanders, Parallel String Sample Sort] might be
+// better"): instead of distributing by single characters like MSD radix
+// sort, it draws a random sample, picks k splitters, classifies all
+// strings into 2k+1 buckets (k+1 range buckets interleaved with k equality
+// buckets) and recurses on the range buckets. Equality buckets hold exact
+// copies of their splitter and need no further work, which makes the
+// sorter robust against heavy duplicates.
+
+const (
+	ssortBuckets   = 63  // splitters per level (k)
+	ssortThreshold = 512 // below this, multikey quicksort takes over
+)
+
+// SampleSort sorts ss in place (carrying sat) with string sample sort and
+// returns the number of characters inspected.
+func SampleSort(ss [][]byte, sat []uint64) (work int64) {
+	if sat != nil && len(sat) != len(ss) {
+		panic("strsort: satellite length mismatch")
+	}
+	st := &Sorter{}
+	rng := rand.New(rand.NewSource(0x5ca1ab1e))
+	st.sampleSort(ss, sat, rng)
+	return st.work
+}
+
+// SampleSortLCP is SampleSort plus LCP array computation.
+func SampleSortLCP(ss [][]byte, sat []uint64) (lcp []int32, work int64) {
+	st := &Sorter{}
+	rng := rand.New(rand.NewSource(0x5ca1ab1e))
+	st.sampleSort(ss, sat, rng)
+	lcp = make([]int32, len(ss))
+	st.fillLCP(ss, lcp, 0)
+	return lcp, st.work
+}
+
+func (st *Sorter) sampleSort(ss [][]byte, sat []uint64, rng *rand.Rand) {
+	n := len(ss)
+	if n < ssortThreshold {
+		st.mkqsort(ss, sat, 0)
+		return
+	}
+
+	// Draw an oversampled random sample and sort it.
+	k := ssortBuckets
+	sampleSize := 2*k + 1
+	sample := make([][]byte, sampleSize)
+	for i := range sample {
+		sample[i] = ss[rng.Intn(n)]
+	}
+	st.mkqsort(sample, nil, 0)
+	splitters := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		splitters[i] = sample[(2*i+1)*sampleSize/(2*k)]
+	}
+	// Deduplicate splitters (equal splitters would create empty ranges —
+	// harmless, but shrinking k speeds classification).
+	splitters = dedupSorted(splitters)
+	k = len(splitters)
+
+	// Classify into 2k+1 buckets: bucket 2i = strings strictly between
+	// splitter i-1 and splitter i; bucket 2i+1 = strings equal to
+	// splitter i.
+	nb := 2*k + 1
+	bucketOf := make([]int32, n)
+	counts := make([]int, nb)
+	for i, s := range ss {
+		b := st.classify(s, splitters)
+		bucketOf[i] = int32(b)
+		counts[b]++
+	}
+
+	// Stable distribution into a scratch copy.
+	start := make([]int, nb+1)
+	for b := 0; b < nb; b++ {
+		start[b+1] = start[b] + counts[b]
+	}
+	tmp := make([][]byte, n)
+	var tmpSat []uint64
+	if sat != nil {
+		tmpSat = make([]uint64, n)
+	}
+	next := make([]int, nb)
+	copy(next, start[:nb])
+	for i, s := range ss {
+		b := bucketOf[i]
+		tmp[next[b]] = s
+		if sat != nil {
+			tmpSat[next[b]] = sat[i]
+		}
+		next[b]++
+	}
+	copy(ss, tmp)
+	if sat != nil {
+		copy(sat, tmpSat)
+	}
+
+	// Recurse on range buckets; equality buckets are already sorted (all
+	// their strings are byte-equal to the splitter).
+	for i := 0; i <= k; i++ {
+		b := 2 * i
+		lo, hi := start[b], start[b+1]
+		if hi-lo > 1 {
+			st.sampleSort(ss[lo:hi], satSlice(sat, lo, hi), rng)
+		}
+	}
+}
+
+// classify locates the bucket of s: binary search over the splitters with
+// character-counting comparisons, then a ternary refinement for equality.
+func (st *Sorter) classify(s []byte, splitters [][]byte) int {
+	lo, hi := 0, len(splitters) // invariant: splitter[lo-1] < s ≤ splitter[hi]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cmp, lcp := compareLCPFrom(s, splitters[mid], 0)
+		st.work += int64(lcp + 1)
+		switch {
+		case cmp == 0:
+			return 2*mid + 1 // equality bucket
+		case cmp < 0:
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return 2 * lo // range bucket
+}
+
+// dedupSorted removes adjacent duplicates from a sorted string slice.
+func dedupSorted(ss [][]byte) [][]byte {
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || compare(ss[i-1], s) != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func compare(a, b []byte) int {
+	cmp, _ := compareLCPFrom(a, b, 0)
+	return cmp
+}

@@ -1,0 +1,148 @@
+package strsort
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dss/internal/strutil"
+)
+
+func TestSampleSortMatchesRadix(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(4000)
+		ss := randStrings(rng, n, 20, 1+rng.Intn(5))
+		ref := strutil.Clone(ss)
+		SortLCP(ref, nil)
+		h := strutil.MultisetHash(ss)
+		lcp, work := SampleSortLCP(ss, nil)
+		checkSorted(t, ss, lcp, h, "samplesort")
+		for i := range ref {
+			if !bytes.Equal(ss[i], ref[i]) {
+				t.Fatalf("trial %d: position %d differs from radix sort", trial, i)
+			}
+		}
+		if n > 1 && work <= 0 {
+			t.Fatal("no work reported")
+		}
+	}
+}
+
+func TestSampleSortLargeTriggersSplitterPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	ss := randStrings(rng, 20000, 12, 26)
+	h := strutil.MultisetHash(ss)
+	lcp, _ := SampleSortLCP(ss, nil)
+	checkSorted(t, ss, lcp, h, "samplesort-large")
+}
+
+func TestSampleSortHeavyDuplicates(t *testing.T) {
+	// Equality buckets: most strings are copies of few values.
+	rng := rand.New(rand.NewSource(33))
+	vals := [][]byte{[]byte("aaa"), []byte("bbb"), []byte("ccc")}
+	ss := make([][]byte, 30000)
+	for i := range ss {
+		ss[i] = vals[rng.Intn(3)]
+	}
+	h := strutil.MultisetHash(ss)
+	work := SampleSort(ss, nil)
+	checkSorted(t, ss, nil, h, "samplesort-dups")
+	// Duplicates must be cheap: equality buckets stop recursion, so work
+	// stays near one classification pass (≈ n · |s| · log k).
+	if work > int64(len(ss))*4*8 {
+		t.Fatalf("duplicate-heavy sample sort did %d work", work)
+	}
+}
+
+func TestSampleSortSatellites(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	ss := randStrings(rng, 3000, 10, 3)
+	orig := strutil.Clone(ss)
+	sat := make([]uint64, len(ss))
+	for i := range sat {
+		sat[i] = uint64(i)
+	}
+	SampleSort(ss, sat)
+	for i, u := range sat {
+		if !bytes.Equal(ss[i], orig[u]) {
+			t.Fatalf("satellite %d points at %q, output %q", u, orig[u], ss[i])
+		}
+	}
+}
+
+func TestSampleSortVsRadixOnLargeAlphabetSkew(t *testing.T) {
+	// The input class Section II-A mentions: large alphabet, skewed
+	// (Zipf-ish) first characters. Both sorters must agree; the benchmark
+	// below compares their cost profiles.
+	rng := rand.New(rand.NewSource(35))
+	ss := make([][]byte, 8000)
+	for i := range ss {
+		l := 3 + rng.Intn(20)
+		s := make([]byte, l)
+		for j := range s {
+			// Skew: half the mass on few symbols, rest across 200.
+			if rng.Intn(2) == 0 {
+				s[j] = byte(rng.Intn(4))
+			} else {
+				s[j] = byte(rng.Intn(200))
+			}
+		}
+		ss[i] = s
+	}
+	ref := strutil.Clone(ss)
+	SortLCP(ref, nil)
+	SampleSort(ss, nil)
+	for i := range ref {
+		if !bytes.Equal(ss[i], ref[i]) {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+}
+
+func BenchmarkSampleSortRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(36))
+	ss := randStrings(rng, 100000, 20, 26)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		in := make([][]byte, len(ss))
+		copy(in, ss)
+		b.StartTimer()
+		SampleSort(in, nil)
+	}
+}
+
+func BenchmarkSampleSortHeavyDuplicates(b *testing.B) {
+	rng := rand.New(rand.NewSource(37))
+	vals := randStrings(rng, 20, 30, 26)
+	ss := make([][]byte, 100000)
+	for i := range ss {
+		ss[i] = vals[rng.Intn(len(vals))]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		in := make([][]byte, len(ss))
+		copy(in, ss)
+		b.StartTimer()
+		SampleSort(in, nil)
+	}
+}
+
+func BenchmarkRadixSortHeavyDuplicates(b *testing.B) {
+	rng := rand.New(rand.NewSource(37))
+	vals := randStrings(rng, 20, 30, 26)
+	ss := make([][]byte, 100000)
+	for i := range ss {
+		ss[i] = vals[rng.Intn(len(vals))]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		in := make([][]byte, len(ss))
+		copy(in, ss)
+		b.StartTimer()
+		SortLCP(in, nil)
+	}
+}

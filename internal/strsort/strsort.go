@@ -1,0 +1,294 @@
+// Package strsort implements the sequential string sorting stack used as
+// the base case of all distributed algorithms (Section II-A of the paper):
+// MSD string radix sort down to small subproblems, multikey quicksort
+// (Bentley-Sedgewick) below that, and LCP-aware insertion sort for constant
+// size inputs. The sorters produce the LCP array as part of the output at
+// no additional asymptotic cost and report the number of characters
+// inspected, the work measure the cost model is based on.
+//
+// All sorters optionally carry one word of satellite data per string
+// (original index, origin id) through the permutation, which the
+// distributed algorithms use to report where each output string came from.
+package strsort
+
+// Thresholds: subproblems with at least radixThreshold strings are sorted
+// by one MSD radix sort pass; medium ones by multikey quicksort; below
+// insertionThreshold plain LCP insertion sort takes over.
+const (
+	radixThreshold     = 128
+	insertionThreshold = 16
+)
+
+// Sorter carries the scratch state of one sorting run; it exists so that
+// repeated sorts can reuse allocations.
+type Sorter struct {
+	work int64
+	// scratch buffers for the radix passes
+	tmpStrings [][]byte
+	tmpSat     []uint64
+}
+
+// Work returns the characters-inspected counter accumulated so far.
+func (st *Sorter) Work() int64 { return st.work }
+
+// SortLCP sorts ss in place lexicographically, computes its LCP array
+// (lcp[0] == 0, lcp[i] == LCP(ss[i-1], ss[i])), permutes sat alongside if
+// non-nil, and returns the number of characters inspected. This is the
+// Step 1 sorter of Algorithms MS and PDMS.
+func SortLCP(ss [][]byte, sat []uint64) (lcp []int32, work int64) {
+	st := &Sorter{}
+	lcp = st.SortLCPInto(ss, sat, nil)
+	return lcp, st.work
+}
+
+// Sort sorts ss in place without producing an LCP array and returns the
+// number of characters inspected.
+func Sort(ss [][]byte, sat []uint64) (work int64) {
+	st := &Sorter{}
+	if len(ss) > 1 {
+		st.mkqsort(ss, sat, 0)
+	}
+	return st.work
+}
+
+// SortLCPInto is like SortLCP but reuses the Sorter's scratch space and an
+// optional caller-provided LCP slice (must have len(ss) if non-nil).
+func (st *Sorter) SortLCPInto(ss [][]byte, sat []uint64, lcp []int32) []int32 {
+	if sat != nil && len(sat) != len(ss) {
+		panic("strsort: satellite length mismatch")
+	}
+	if lcp == nil {
+		lcp = make([]int32, len(ss))
+	} else if len(lcp) != len(ss) {
+		panic("strsort: lcp length mismatch")
+	}
+	if len(ss) > 1 {
+		st.msdRadix(ss, sat, lcp, 0)
+	}
+	return lcp
+}
+
+// msdRadix sorts one subproblem whose strings all share a common prefix of
+// length depth, assigning lcp[1:] within the subproblem (lcp[0] belongs to
+// the caller: it is the boundary with whatever precedes the subproblem).
+func (st *Sorter) msdRadix(ss [][]byte, sat []uint64, lcp []int32, depth int) {
+	n := len(ss)
+	if n < 2 {
+		return
+	}
+	if n < radixThreshold {
+		st.mkqsort(ss, sat, depth)
+		st.fillLCP(ss, lcp, depth)
+		return
+	}
+
+	// Counting pass over the (depth+1)-st character. Bucket 0 holds strings
+	// that end exactly at depth; bucket c+1 holds strings with s[depth]==c.
+	var count [257]int
+	for _, s := range ss {
+		count[bucketOf(s, depth)]++
+	}
+	st.work += int64(n)
+
+	// Bucket start offsets.
+	var start [258]int
+	for i := 0; i < 257; i++ {
+		start[i+1] = start[i] + count[i]
+	}
+
+	// Out-of-place stable distribution, then copy back.
+	if cap(st.tmpStrings) < n {
+		st.tmpStrings = make([][]byte, n)
+	}
+	tmp := st.tmpStrings[:n]
+	var tmpSat []uint64
+	if sat != nil {
+		if cap(st.tmpSat) < n {
+			st.tmpSat = make([]uint64, n)
+		}
+		tmpSat = st.tmpSat[:n]
+	}
+	next := start
+	for i, s := range ss {
+		b := bucketOf(s, depth)
+		tmp[next[b]] = s
+		if sat != nil {
+			tmpSat[next[b]] = sat[i]
+		}
+		next[b]++
+	}
+	copy(ss, tmp)
+	if sat != nil {
+		copy(sat, tmpSat)
+	}
+
+	// LCP values: the boundary between two buckets, and between equal
+	// strings in the end bucket, is exactly depth. The end bucket occupies
+	// [0, count[0]); index 0 is the subproblem boundary owned by the caller.
+	for i := 1; i < count[0]; i++ {
+		lcp[i] = int32(depth)
+	}
+	for b := 1; b <= 256; b++ {
+		lo, hi := start[b], start[b]+count[b]
+		if lo < hi && lo > 0 {
+			lcp[lo] = int32(depth)
+		}
+		if count[b] > 1 {
+			st.msdRadix(ss[lo:hi], satSlice(sat, lo, hi), lcp[lo:hi], depth+1)
+		}
+	}
+	// Fix the end bucket's first entry if the subproblem starts with it:
+	// lcp[0] is owned by the caller, nothing to do (the loop above skipped
+	// i == 0 already).
+}
+
+func bucketOf(s []byte, depth int) int {
+	if len(s) == depth {
+		return 0
+	}
+	return int(s[depth]) + 1
+}
+
+func satSlice(sat []uint64, lo, hi int) []uint64 {
+	if sat == nil {
+		return nil
+	}
+	return sat[lo:hi]
+}
+
+// mkqsort is multikey quicksort: ternary partition on the character at
+// position depth, recursing into <, =, > parts [Bentley & Sedgewick 1997].
+// Characters before depth are known to be equal across the subproblem and
+// are never inspected again.
+func (st *Sorter) mkqsort(ss [][]byte, sat []uint64, depth int) {
+	for len(ss) > insertionThreshold {
+		n := len(ss)
+		p := medianOf3Char(ss, depth)
+		// Ternary partition by charAt(s, depth) compared to p.
+		// Invariant: [0,lt) < p, [lt,i) == p, (gt,n-1] > p.
+		lt, i, gt := 0, 0, n-1
+		for i <= gt {
+			c := charAt(ss[i], depth)
+			switch {
+			case c < p:
+				swap(ss, sat, lt, i)
+				lt++
+				i++
+			case c > p:
+				swap(ss, sat, i, gt)
+				gt--
+			default:
+				i++
+			}
+		}
+		st.work += int64(n)
+		st.mkqsort(ss[:lt], satSlice(sat, 0, lt), depth)
+		st.mkqsort(ss[gt+1:], satSlice(sat, gt+1, n), depth)
+		if p < 0 {
+			// The equal part consists of strings ending at depth: they are
+			// fully equal, nothing left to sort.
+			return
+		}
+		// Tail-call into the equal part one character deeper.
+		ss = ss[lt : gt+1]
+		sat = satSlice(sat, lt, gt+1)
+		depth++
+	}
+	st.insertionSort(ss, sat, depth)
+}
+
+// charAt returns the character at position depth, or -1 if the string ends
+// there (end-of-string sorts before every character).
+func charAt(s []byte, depth int) int {
+	if len(s) == depth {
+		return -1
+	}
+	return int(s[depth])
+}
+
+func medianOf3Char(ss [][]byte, depth int) int {
+	n := len(ss)
+	a, b, c := charAt(ss[0], depth), charAt(ss[n/2], depth), charAt(ss[n-1], depth)
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+		if a > b {
+			b = a
+		}
+	}
+	return b
+}
+
+func swap(ss [][]byte, sat []uint64, i, j int) {
+	ss[i], ss[j] = ss[j], ss[i]
+	if sat != nil {
+		sat[i], sat[j] = sat[j], sat[i]
+	}
+}
+
+// insertionSort sorts a small subproblem whose strings share a prefix of
+// length depth, comparing only from depth onwards.
+func (st *Sorter) insertionSort(ss [][]byte, sat []uint64, depth int) {
+	for i := 1; i < len(ss); i++ {
+		s := ss[i]
+		var u uint64
+		if sat != nil {
+			u = sat[i]
+		}
+		j := i
+		for j > 0 {
+			cmp, lcp := compareLCPFrom(ss[j-1], s, depth)
+			st.work += int64(lcp - depth + 1)
+			if cmp <= 0 {
+				break
+			}
+			ss[j] = ss[j-1]
+			if sat != nil {
+				sat[j] = sat[j-1]
+			}
+			j--
+		}
+		ss[j] = s
+		if sat != nil {
+			sat[j] = u
+		}
+	}
+}
+
+// fillLCP computes lcp[1:] of a sorted subproblem whose strings share a
+// prefix of length depth. Characters before depth are not inspected.
+func (st *Sorter) fillLCP(ss [][]byte, lcp []int32, depth int) {
+	for i := 1; i < len(ss); i++ {
+		_, h := compareLCPFrom(ss[i-1], ss[i], depth)
+		st.work += int64(h - depth + 1)
+		lcp[i] = int32(h)
+	}
+}
+
+// compareLCPFrom compares a and b skipping the first `from` characters,
+// returning the comparison and the full LCP.
+func compareLCPFrom(a, b []byte, from int) (cmp, lcp int) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := from
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	switch {
+	case i < len(a) && i < len(b):
+		if a[i] < b[i] {
+			return -1, i
+		}
+		return 1, i
+	case i < len(b):
+		return -1, i
+	case i < len(a):
+		return 1, i
+	default:
+		return 0, i
+	}
+}

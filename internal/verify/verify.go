@@ -1,0 +1,110 @@
+// Package verify provides distributed correctness checks for the sorters:
+// global sortedness across PE boundaries, LCP array validation, and
+// order-independent multiset preservation. The checks communicate only
+// O(1) data per PE and are used by the test suite, the CLI tools and the
+// benchmark harness (with statistics excluded from the measured run).
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"dss/internal/comm"
+	"dss/internal/strutil"
+	"dss/internal/wire"
+)
+
+// Errors returned by the checks.
+var (
+	ErrLocalOrder  = errors.New("verify: fragment not locally sorted")
+	ErrGlobalOrder = errors.New("verify: fragments out of order across PEs")
+	ErrLCP         = errors.New("verify: LCP array mismatch")
+	ErrMultiset    = errors.New("verify: output is not a permutation of the input")
+)
+
+// Sortedness checks that every PE's fragment is locally sorted and that
+// the fragments are globally ordered by rank (PE i's last string ≤ PE
+// i+1's first string, skipping empty PEs). Collective call: every PE must
+// enter it, and every PE participates in the exchange even if its own
+// fragment is already known to be out of order (an early return on one PE
+// would deadlock the others inside the collective).
+func Sortedness(c *comm.Comm, ss [][]byte, gid int) error {
+	locallySorted := strutil.IsSorted(ss)
+	g := comm.NewGroup(c, ranks(c.P()), gid)
+	w := wire.NewBuffer(32)
+	if locallySorted {
+		w.Uvarint(1)
+	} else {
+		w.Uvarint(0)
+	}
+	if len(ss) == 0 {
+		w.Uvarint(0)
+	} else {
+		w.Uvarint(1)
+		w.BytesPrefixed(ss[0])
+		w.BytesPrefixed(ss[len(ss)-1])
+	}
+	parts := g.Allgatherv(w.Bytes())
+	var prevLast []byte
+	havePrev := false
+	var firstErr error
+	for pe, part := range parts {
+		r := wire.NewReader(part)
+		sortedFlag, err0 := r.Uvarint()
+		has, err := r.Uvarint()
+		if err0 != nil || err != nil {
+			return fmt.Errorf("verify: corrupt boundary message from PE %d", pe)
+		}
+		if sortedFlag == 0 && firstErr == nil {
+			firstErr = fmt.Errorf("%w (PE %d)", ErrLocalOrder, pe)
+		}
+		if has == 0 {
+			continue
+		}
+		first, err1 := r.BytesPrefixed()
+		last, err2 := r.BytesPrefixed()
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("verify: corrupt boundary message from PE %d", pe)
+		}
+		if havePrev && strutil.Compare(prevLast, first) > 0 && firstErr == nil {
+			firstErr = fmt.Errorf("%w (boundary before PE %d)", ErrGlobalOrder, pe)
+		}
+		prevLast = append([]byte(nil), last...)
+		havePrev = true
+	}
+	return firstErr
+}
+
+// LCPs checks a fragment's LCP array against direct recomputation.
+func LCPs(ss [][]byte, lcps []int32) error {
+	if lcps == nil {
+		return nil
+	}
+	if i := strutil.ValidateLCPArray(ss, lcps); i >= 0 {
+		return fmt.Errorf("%w at index %d", ErrLCP, i)
+	}
+	return nil
+}
+
+// Multiset checks that the global output multiset equals the global input
+// multiset: every PE contributes (hash, count) of its local input and its
+// local output; the sums must agree. Collective call.
+func Multiset(c *comm.Comm, input, output [][]byte, gid int) error {
+	g := comm.NewGroup(c, ranks(c.P()), gid)
+	sums := g.AllreduceUint64([]uint64{
+		strutil.MultisetHash(input), uint64(len(input)),
+		strutil.MultisetHash(output), uint64(len(output)),
+	}, comm.Sum)
+	if sums[0] != sums[2] || sums[1] != sums[3] {
+		return fmt.Errorf("%w (count %d → %d)", ErrMultiset, sums[1], sums[3])
+	}
+	return nil
+}
+
+func ranks(p int) []int {
+	r := make([]int, p)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}

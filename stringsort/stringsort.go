@@ -1,0 +1,396 @@
+// Package stringsort is the public API of the distributed string sorting
+// library, a Go reproduction of "Communication-Efficient String Sorting"
+// (Bingmann, Sanders, Schimek; IPDPS 2020). It sorts large string sets on
+// a simulated distributed-memory machine with p processing elements and
+// reports exact communication statistics alongside a model running time.
+//
+// Quick start:
+//
+//	out, err := stringsort.Sort(inputs, stringsort.Config{
+//		P:         8,
+//		Algorithm: stringsort.PDMS,
+//	})
+//
+// where inputs[pe] is PE pe's local string array. The result contains each
+// PE's fragment of the globally sorted sequence, the per-fragment LCP
+// arrays, and the communication/work statistics the paper's evaluation is
+// based on. See the examples/ directory for complete programs.
+package stringsort
+
+import (
+	"fmt"
+	"strings"
+
+	"dss/internal/comm"
+	"dss/internal/core"
+	"dss/internal/dupdetect"
+	"dss/internal/partition"
+	"dss/internal/stats"
+	"dss/internal/verify"
+)
+
+// Algorithm selects one of the paper's six evaluated sorting algorithms.
+type Algorithm int
+
+// The algorithms of the Section VII evaluation.
+const (
+	// HQuick is hypercube quicksort adapted to strings (Section IV): the
+	// atomic baseline with polylogarithmic latency.
+	HQuick Algorithm = iota
+	// FKMerge is the Fischer-Kurpicz distributed mergesort (Section II-C),
+	// the only previously published distributed string sorter.
+	FKMerge
+	// MSSimple is Distributed String Merge Sort with no LCP optimizations.
+	MSSimple
+	// MS is Distributed String Merge Sort with LCP compression and
+	// LCP-aware merging (Section V).
+	MS
+	// PDMS is Distributed Prefix-Doubling String Merge Sort (Section VI).
+	PDMS
+	// PDMSGolomb is PDMS with Golomb-coded duplicate detection messages.
+	PDMSGolomb
+)
+
+// Algorithms lists all algorithms in evaluation order.
+var Algorithms = []Algorithm{FKMerge, HQuick, MSSimple, MS, PDMSGolomb, PDMS}
+
+// String returns the paper's name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case HQuick:
+		return "hQuick"
+	case FKMerge:
+		return "FKmerge"
+	case MSSimple:
+		return "MS-simple"
+	case MS:
+		return "MS"
+	case PDMS:
+		return "PDMS"
+	case PDMSGolomb:
+		return "PDMS-Golomb"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm resolves a (case-insensitive) algorithm name.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range Algorithms {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("stringsort: unknown algorithm %q (have %v)", name, Algorithms)
+}
+
+// Origin identifies the provenance of a PDMS output prefix.
+type Origin struct {
+	PE    int
+	Index int
+}
+
+// Config configures one sorting run.
+type Config struct {
+	// P is the number of processing elements (default: len(inputs)).
+	P int
+	// Algorithm selects the sorter (default MS).
+	Algorithm Algorithm
+	// Oversampling is the per-PE sample count v of Step 2; 0 lets the
+	// algorithm pick v = 2p−1 (Θ(p), quantile-aligned).
+	Oversampling int
+	// CharSampling switches to character-based splitter sampling
+	// (Theorem 3 load balancing; the skew experiment of Section VII-E).
+	CharSampling bool
+	// Eps is PDMS's prefix growth factor (default 1 = doubling).
+	Eps float64
+	// TieBreak partitions by (string, origin) pairs in the MS family,
+	// spreading duplicated strings evenly over PEs (Section VIII).
+	TieBreak bool
+	// RandomSampling draws random instead of regular samples (Section VIII).
+	RandomSampling bool
+	// Seed drives all randomized components.
+	Seed uint64
+	// Model overrides the α-β cost model used for the model time.
+	Model *stats.CostModel
+	// Validate runs the distributed verifier after sorting and fails the
+	// run on any violation (sorting statistics unaffected; validation
+	// volume is excluded).
+	Validate bool
+	// Reconstruct materializes full strings for PDMS results (extra
+	// communication excluded from the reported statistics).
+	Reconstruct bool
+}
+
+// PEOutput is one PE's fragment of the sorted result.
+type PEOutput struct {
+	// Strings is the locally sorted fragment (globally ordered by PE).
+	// For PDMS runs without Reconstruct these are distinguishing prefixes.
+	Strings [][]byte
+	// LCPs is the fragment's LCP array (nil for MS-simple and FKmerge).
+	LCPs []int32
+	// Origins is the provenance of each string (PDMS only).
+	Origins []Origin
+}
+
+// Stats summarizes one run's cost, the two metrics of Figures 4 and 5.
+type Stats struct {
+	ModelTime      float64 // α-β model running time in seconds
+	BytesSent      int64   // total payload bytes sent between PEs
+	BytesPerString float64 // BytesSent / global input size
+	MaxBytesSent   int64   // bottleneck send volume: max over PEs
+	MaxBytesRecv   int64   // bottleneck receive volume: max over PEs
+	MeanBytesRecv  float64 // average per-PE receive volume
+	Messages       int64   // total point-to-point messages
+	Work           int64   // total local work units (characters)
+	Imbalance      float64 // max/mean per-PE work
+	PhaseTable     string  // human-readable per-phase breakdown
+}
+
+// Result is the outcome of a distributed sorting run.
+type Result struct {
+	PEs        []PEOutput
+	Stats      Stats
+	PrefixOnly bool // PDMS without Reconstruct: fragments hold prefixes
+}
+
+// Sort sorts the distributed string set inputs (inputs[pe] = PE pe's local
+// strings) with the configured algorithm and returns the per-PE fragments
+// and run statistics. Input arrays are not modified.
+func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
+	p := cfg.P
+	if p == 0 {
+		p = len(inputs)
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("stringsort: need at least one PE")
+	}
+	if len(inputs) > p {
+		return nil, fmt.Errorf("stringsort: %d input fragments for %d PEs", len(inputs), p)
+	}
+	// Oversampling 0 lets the algorithms pick v = Θ(p) (Theorems 2–4).
+	machine := comm.New(p)
+	if cfg.Model != nil {
+		machine.SetModel(*cfg.Model)
+	}
+
+	local := func(pe int) [][]byte {
+		if pe < len(inputs) {
+			return inputs[pe]
+		}
+		return nil
+	}
+	results := make([]core.Result, p)
+	err := machine.Run(func(c *comm.Comm) error {
+		results[c.Rank()] = dispatch(c, local(c.Rank()), cfg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Snapshot the sorting statistics before any post-processing
+	// communication (validation, reconstruction).
+	rep := machine.Report()
+	var n int64
+	for pe := 0; pe < p; pe++ {
+		n += int64(len(local(pe)))
+	}
+	st := Stats{
+		ModelTime:      rep.ModelTime(),
+		BytesSent:      rep.TotalBytesSent(),
+		BytesPerString: rep.BytesPerString(n),
+		MaxBytesSent:   rep.MaxBytesSent(),
+		MaxBytesRecv:   rep.MaxBytesRecv(),
+		MeanBytesRecv:  rep.MeanBytesRecv(),
+		Messages:       rep.TotalMessages(),
+		Work:           rep.TotalWork(),
+		Imbalance:      rep.Imbalance(),
+		PhaseTable:     rep.Table(),
+	}
+
+	prefixOnly := results[0].PrefixOnly
+	if prefixOnly && cfg.Reconstruct {
+		err := machine.Run(func(c *comm.Comm) error {
+			full := core.Reconstruct(c, results[c.Rank()], local(c.Rank()), 900)
+			results[c.Rank()].Strings = full
+			results[c.Rank()].LCPs = nil // prefix LCPs do not apply to full strings
+			results[c.Rank()].PrefixOnly = false
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		prefixOnly = false
+	}
+
+	if cfg.Validate {
+		err := machine.Run(func(c *comm.Comm) error {
+			res := results[c.Rank()]
+			if err := verify.Sortedness(c, res.Strings, 901); err != nil {
+				return err
+			}
+			if err := verify.LCPs(res.Strings, res.LCPs); err != nil {
+				return err
+			}
+			if !prefixOnly {
+				if err := verify.Multiset(c, local(c.Rank()), res.Strings, 902); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Result{PEs: make([]PEOutput, p), Stats: st, PrefixOnly: prefixOnly}
+	for pe := 0; pe < p; pe++ {
+		peOut := PEOutput{Strings: results[pe].Strings, LCPs: results[pe].LCPs}
+		if results[pe].Origins != nil {
+			peOut.Origins = make([]Origin, len(results[pe].Origins))
+			for i, o := range results[pe].Origins {
+				peOut.Origins[i] = Origin{PE: int(o.PE), Index: int(o.Index)}
+			}
+		}
+		out.PEs[pe] = peOut
+	}
+	return out, nil
+}
+
+// dispatch runs the configured algorithm on one PE.
+func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
+	sampling := partition.StringSampling
+	if cfg.CharSampling {
+		sampling = partition.CharSampling
+	}
+	switch cfg.Algorithm {
+	case HQuick:
+		return core.HQuick(c, ss, core.HQOptions{
+			GroupID: 1, Seed: cfg.Seed, TrackPhases: true,
+		})
+	case FKMerge:
+		return core.FKMerge(c, ss, core.FKOptions{GroupID: 1})
+	case MSSimple:
+		o := core.MSSimple()
+		o.GroupID = 1
+		o.Seed = cfg.Seed
+		o.V = cfg.Oversampling
+		o.Sampling = sampling
+		o.TieBreak = cfg.TieBreak
+		o.RandomSampling = cfg.RandomSampling
+		return core.MergeSort(c, ss, o)
+	case MS:
+		o := core.DefaultMS()
+		o.GroupID = 1
+		o.Seed = cfg.Seed
+		o.V = cfg.Oversampling
+		o.Sampling = sampling
+		o.TieBreak = cfg.TieBreak
+		o.RandomSampling = cfg.RandomSampling
+		return core.MergeSort(c, ss, o)
+	case PDMS, PDMSGolomb:
+		o := core.DefaultPDMS()
+		o.Golomb = cfg.Algorithm == PDMSGolomb
+		o.GroupID = 1
+		o.Seed = cfg.Seed
+		o.V = cfg.Oversampling
+		if cfg.Eps > 0 {
+			o.Eps = cfg.Eps
+		}
+		if cfg.CharSampling {
+			o.StringSamplingOverride = false
+		}
+		return core.PDMS(c, ss, o)
+	default:
+		panic(fmt.Sprintf("stringsort: unknown algorithm %v", cfg.Algorithm))
+	}
+}
+
+// Estimate is the result of EstimateDN.
+type Estimate struct {
+	// AvgDist is the estimated average distinguishing prefix length D/n.
+	AvgDist float64
+	// MaxDist is the largest DIST seen in the sample (lower bound on d̂).
+	MaxDist int
+	// SampleSize is the number of strings sampled globally.
+	SampleSize int
+	// Suggested is the algorithm the estimate recommends: PDMS when the
+	// distinguishing prefixes are a small fraction of the data, MS
+	// otherwise (the Section VIII algorithm-selection use case).
+	Suggested Algorithm
+}
+
+// EstimateDN approximates D/n of a distributed string set by gossiping a
+// random sample of about sampleSize strings — the Section VIII technique
+// for choosing a sorting strategy without sorting ("when D/n is small, we
+// can use string sorting based algorithms"). Far cheaper than sorting:
+// the communication volume is O(sampleSize · avg length) in total.
+func EstimateDN(inputs [][][]byte, sampleSize int, seed uint64) (Estimate, error) {
+	p := len(inputs)
+	if p == 0 {
+		return Estimate{}, fmt.Errorf("stringsort: need at least one PE")
+	}
+	machine := comm.New(p)
+	results := make([]dupdetect.EstimateResult, p)
+	var avgLen float64
+	var total int64
+	for _, in := range inputs {
+		for _, s := range in {
+			total += int64(len(s))
+		}
+	}
+	var n int64
+	for _, in := range inputs {
+		n += int64(len(in))
+	}
+	if n > 0 {
+		avgLen = float64(total) / float64(n)
+	}
+	err := machine.Run(func(c *comm.Comm) error {
+		results[c.Rank()] = dupdetect.EstimateD(c, inputs[c.Rank()], sampleSize, seed, 1)
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	r := results[0]
+	est := Estimate{AvgDist: r.AvgDist, MaxDist: r.MaxDist, SampleSize: r.SampleSize}
+	// Prefix doubling pays off when the distinguishing prefixes are well
+	// below the average string length; otherwise its overhead loses to
+	// plain LCP compression (the Fig. 4 crossover).
+	if avgLen > 0 && r.AvgDist < 0.5*avgLen {
+		est.Suggested = PDMS
+	} else {
+		est.Suggested = MS
+	}
+	return est, nil
+}
+
+// SortStrings is a convenience wrapper for single-node callers: it
+// distributes the strings round-robin over cfg.P PEs, sorts, and returns
+// the concatenated sorted strings. PDMS results are reconstructed to full
+// strings automatically.
+func SortStrings(ss []string, cfg Config) ([]string, error) {
+	if cfg.P <= 0 {
+		cfg.P = 4
+	}
+	inputs := make([][][]byte, cfg.P)
+	for i, s := range ss {
+		pe := i % cfg.P
+		inputs[pe] = append(inputs[pe], []byte(s))
+	}
+	cfg.Reconstruct = true
+	res, err := Sort(inputs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ss))
+	for _, pe := range res.PEs {
+		for _, s := range pe.Strings {
+			out = append(out, string(s))
+		}
+	}
+	return out, nil
+}
