@@ -1,0 +1,3 @@
+module dss
+
+go 1.24

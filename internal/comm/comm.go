@@ -18,11 +18,79 @@ package comm
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime/debug"
 	"sync"
 
 	"dss/internal/stats"
 )
+
+// bufPool recycles message payload buffers in power-of-two size classes.
+// Send draws its mandatory payload copy from here, and receivers that have
+// fully consumed a payload hand it back through Comm.Release, making a
+// steady-state exchange allocation-free. Returning buffers is optional:
+// an unreleased buffer is simply collected by the GC.
+//
+// The free lists are plain mutex-guarded stacks rather than sync.Pool:
+// putting a []byte into a sync.Pool boxes the slice header on every call,
+// which would re-introduce exactly the per-message allocation the pool is
+// meant to remove. The Machine keeps one bufPool per PE and each PE only
+// ever touches its own (Send and Release are PE-goroutine-confined like
+// the rest of Comm), so the mutex is never contended; it exists only to
+// keep the type safe against future cross-PE use. Buffers migrate freely:
+// a buffer allocated by the sender's pool may be released into the
+// receiver's.
+type bufPool struct {
+	mu      sync.Mutex
+	classes [numBufClasses][][]byte
+}
+
+// numBufClasses covers pooled payloads up to 128 MiB; larger ones fall
+// back to plain allocation. maxPerClass bounds the memory parked per size
+// class.
+const (
+	numBufClasses = 28
+	maxPerClass   = 256
+)
+
+// get returns a buffer of length n with capacity of the containing size
+// class. Contents are unspecified; callers overwrite the full length.
+func (p *bufPool) get(n int) []byte {
+	if n == 0 {
+		return []byte{}
+	}
+	c := bits.Len(uint(n - 1)) // smallest c with n ≤ 1<<c
+	if c >= numBufClasses {
+		return make([]byte, n)
+	}
+	p.mu.Lock()
+	if l := len(p.classes[c]); l > 0 {
+		b := p.classes[c][l-1]
+		p.classes[c] = p.classes[c][:l-1]
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	return make([]byte, n, 1<<c)
+}
+
+// put returns a buffer to the pool, classed by its capacity so that a
+// future get never receives a buffer that is too small.
+func (p *bufPool) put(b []byte) {
+	n := cap(b)
+	if n == 0 {
+		return
+	}
+	c := bits.Len(uint(n)) - 1 // largest c with 1<<c ≤ cap
+	if c >= numBufClasses {
+		return
+	}
+	p.mu.Lock()
+	if len(p.classes[c]) < maxPerClass {
+		p.classes[c] = append(p.classes[c], b[:0])
+	}
+	p.mu.Unlock()
+}
 
 // envelope is one in-flight message.
 type envelope struct {
@@ -78,6 +146,7 @@ type Machine struct {
 	boxes [][]*mailbox // boxes[dst][src]
 	pes   []*stats.PE
 	model stats.CostModel
+	pools []bufPool // per-PE recycled payload buffers (see Send / Release)
 }
 
 // New creates a machine with p PEs and the default cost model.
@@ -90,6 +159,7 @@ func New(p int) *Machine {
 		boxes: make([][]*mailbox, p),
 		pes:   make([]*stats.PE, p),
 		model: stats.DefaultModel(),
+		pools: make([]bufPool, p),
 	}
 	for dst := 0; dst < p; dst++ {
 		m.boxes[dst] = make([]*mailbox, p)
@@ -187,12 +257,14 @@ func (c *Comm) AddWork(units int64) {
 
 // Send transmits data to dst with the given tag. The payload is copied, so
 // the caller retains ownership of data. Self-sends are delivered but do not
-// count as communication volume (no bytes leave the PE).
+// count as communication volume (no bytes leave the PE). The copy is drawn
+// from the machine's buffer pool; the receiver may hand it back with
+// Release once fully consumed.
 func (c *Comm) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= c.m.p {
 		panic(fmt.Sprintf("comm: send to invalid rank %d (P=%d)", dst, c.m.p))
 	}
-	cp := make([]byte, len(data))
+	cp := c.m.pools[c.rank].get(len(data))
 	copy(cp, data)
 	if dst != c.rank {
 		ph := &c.st.Phases[c.phase]
@@ -213,6 +285,18 @@ func (c *Comm) Recv(src, tag int) []byte {
 		c.st.Phases[c.phase].BytesRecv += int64(len(data))
 	}
 	return data
+}
+
+// Release returns payload buffers (typically obtained from Recv or a
+// collective) to the machine's buffer pool for reuse by future Sends. Call
+// it only when the payload — including every sub-slice handed out by a
+// decoder — is no longer referenced; decoders that copy their results out
+// (the wire package's arena decoders do) leave the message releasable.
+// Releasing is optional and never required for correctness.
+func (c *Comm) Release(bufs ...[]byte) {
+	for _, b := range bufs {
+		c.m.pools[c.rank].put(b)
+	}
 }
 
 // SendRecv exchanges a message with a partner PE: it sends data to partner

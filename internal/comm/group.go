@@ -161,9 +161,11 @@ func (g *Group) Gatherv(root int, data []byte) [][]byte {
 		srcRel := rel + mask
 		if srcRel < n {
 			src := (srcRel + root) % n
-			if err := unpackGather(g.recv(src, tag), collected); err != nil {
+			bundle := g.recv(src, tag)
+			if err := unpackGather(bundle, collected); err != nil {
 				panic(fmt.Sprintf("comm: corrupt gather bundle: %v", err))
 			}
+			g.c.Release(bundle) // unpackGather copied the payloads out
 		}
 		mask <<= 1
 	}
@@ -191,6 +193,7 @@ func (g *Group) Allgatherv(data []byte) [][]byte {
 	if err := unpackGather(packed, m); err != nil {
 		panic(fmt.Sprintf("comm: corrupt allgather bundle: %v", err))
 	}
+	g.c.Release(packed) // unpackGather copied the payloads out
 	out := make([][]byte, len(g.ranks))
 	for idx, payload := range m {
 		out[idx] = payload
@@ -287,6 +290,7 @@ func (g *Group) AlltoallvHypercube(parts [][]byte) [][]byte {
 			copy(cp, payload)
 			pending[dst64] = append(pending[dst64], routed{origin: int(origin64), payload: cp})
 		}
+		g.c.Release(msg) // payload chunks were copied out above
 	}
 	out := make([][]byte, n)
 	for _, rt := range pending[g.myIdx] {
@@ -303,7 +307,8 @@ func (g *Group) AlltoallvHypercube(parts [][]byte) [][]byte {
 // ReduceBytes folds every member's payload into one value at root using a
 // binomial tree. combine must be associative over the payloads in group
 // index order: combine(a, b) where a's members all have lower group indices
-// than b's. Non-roots return nil.
+// than b's, and must not retain hi (it is recycled after the call).
+// Non-roots return nil.
 func (g *Group) ReduceBytes(root int, data []byte, combine func(lo, hi []byte) []byte) []byte {
 	tag := g.nextTag()
 	n := len(g.ranks)
@@ -321,6 +326,7 @@ func (g *Group) ReduceBytes(root int, data []byte, combine func(lo, hi []byte) [
 			src := (srcRel + root) % n
 			hi := g.recv(src, tag)
 			acc = combine(acc, hi)
+			g.c.Release(hi)
 		}
 		mask <<= 1
 	}
@@ -363,6 +369,7 @@ func (g *Group) AllreduceUint64(vals []uint64, op func(a, b uint64) uint64) []ui
 	if err != nil {
 		panic("comm: corrupt allreduce result")
 	}
+	g.c.Release(packed)
 	return out
 }
 
@@ -401,5 +408,6 @@ func (g *Group) ExscanUint64(val uint64) (prefix, total uint64) {
 		}
 		total += vs[0]
 	}
+	g.c.Release(parts...)
 	return prefix, total
 }

@@ -28,8 +28,10 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 
 	// Step 1: local sort (no LCP output needed: FKmerge never uses LCPs).
 	c.SetPhase(stats.PhaseLocalSort)
-	work := strsort.Sort(local, nil)
-	c.AddWork(work)
+	st := strsort.Get()
+	st.Sort(local, nil)
+	c.AddWork(st.Work())
+	strsort.Put(st)
 	if p == 1 {
 		c.SetPhase(stats.PhaseOther)
 		return Result{Strings: local}
@@ -46,12 +48,20 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 	})
 	off := partition.Buckets(local, splitters)
 
-	// Step 3: uncompressed all-to-all exchange.
+	// Step 3: uncompressed all-to-all exchange, all parts encoded into one
+	// exactly pre-sized arena (see MergeSort Step 3).
 	c.SetPhase(stats.PhaseExchange)
 	g := comm.NewGroup(c, allRanks(p), opt.GroupID+8)
 	parts := make([][]byte, p)
+	total := 0
 	for dst := 0; dst < p; dst++ {
-		parts[dst] = wire.EncodeStrings(local[off[dst]:off[dst+1]])
+		total += wire.StringsSize(local[off[dst]:off[dst+1]])
+	}
+	arena := make([]byte, 0, total)
+	for dst := 0; dst < p; dst++ {
+		start := len(arena)
+		arena = wire.AppendStrings(arena, local[off[dst]:off[dst+1]])
+		parts[dst] = arena[start:len(arena):len(arena)]
 	}
 	recvd := g.Alltoallv(parts)
 	runs := make([]merge.Sequence, p)
@@ -61,6 +71,7 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 			panic("fkmerge: corrupt run: " + err.Error())
 		}
 		runs[src] = merge.Sequence{Strings: rs}
+		c.Release(recvd[src]) // DecodeStrings copied into its own backing
 	}
 
 	// Step 4: ordinary loser tree merge.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"dss/internal/comm"
 	"dss/internal/merge"
 	"dss/internal/partition"
@@ -78,15 +80,19 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 	}
 	local := cloneSpine(ss)
 
-	// Step 1: local sort with LCP array.
+	// Step 1: local sort with LCP array. The sorter's radix scratch is
+	// drawn from the package pool, so repeated sorts reuse allocations.
 	c.SetPhase(stats.PhaseLocalSort)
 	var lcp []int32
 	var work int64
+	st := strsort.Get()
 	if opt.LCPMerge || opt.LCPCompression {
-		lcp, work = strsort.SortLCP(local, nil)
-	} else {
-		work = strsort.Sort(local, nil)
+		lcp = st.SortLCPInto(local, nil, nil)
+	} else if len(local) > 1 {
+		st.Sort(local, nil)
 	}
+	work = st.Work()
+	strsort.Put(st)
 	c.AddWork(work)
 	if p == 1 {
 		c.SetPhase(stats.PhaseOther)
@@ -116,20 +122,49 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 		off = partition.Buckets(local, splitters)
 	}
 
-	// Step 3: all-to-all bucket exchange.
+	// Step 3: all-to-all bucket exchange. All p outgoing parts are encoded
+	// into one exactly pre-sized arena (Send copies payloads, so the parts
+	// may share backing storage): O(1) buffer allocations per PE instead of
+	// one per destination, with zero growth reallocations. The LCP run of a
+	// bucket is passed as a direct sub-slice of the local LCP array — the
+	// encoders ignore the boundary entry lcps[lo], which belongs to a
+	// string that stays on this PE.
 	c.SetPhase(stats.PhaseExchange)
 	g := comm.NewGroup(c, allRanks(p), opt.GroupID+8)
 	parts := make([][]byte, p)
+	total := 0
+	var wsizes [][2]int // per-dst (blob, lblob) sizes of the LCPMerge format
+	if opt.LCPMerge && !opt.LCPCompression {
+		wsizes = make([][2]int, p)
+	}
 	for dst := 0; dst < p; dst++ {
 		lo, hi := off[dst], off[dst+1]
 		switch {
 		case opt.LCPCompression:
-			parts[dst] = wire.EncodeStringsLCP(local[lo:hi], lcpRun(lcp, lo, hi))
+			total += wire.StringsLCPSize(local[lo:hi], lcpSub(lcp, lo, hi))
 		case opt.LCPMerge:
-			parts[dst] = encodeStringsWithLCPs(local[lo:hi], lcpRun(lcp, lo, hi))
+			blob := wire.StringsSize(local[lo:hi])
+			lblob := wire.Int32sRunSize(lcpSub(lcp, lo, hi))
+			wsizes[dst] = [2]int{blob, lblob}
+			total += wire.UvarintLen(uint64(blob)) + blob +
+				wire.UvarintLen(uint64(lblob)) + lblob
 		default:
-			parts[dst] = wire.EncodeStrings(local[lo:hi])
+			total += wire.StringsSize(local[lo:hi])
 		}
+	}
+	arena := make([]byte, 0, total)
+	for dst := 0; dst < p; dst++ {
+		lo, hi := off[dst], off[dst+1]
+		start := len(arena)
+		switch {
+		case opt.LCPCompression:
+			arena = wire.AppendStringsLCP(arena, local[lo:hi], lcpSub(lcp, lo, hi))
+		case opt.LCPMerge:
+			arena = appendStringsWithLCPs(arena, local[lo:hi], lcpSub(lcp, lo, hi), wsizes[dst])
+		default:
+			arena = wire.AppendStrings(arena, local[lo:hi])
+		}
+		parts[dst] = arena[start:len(arena):len(arena)]
 	}
 	recvd := g.Alltoallv(parts)
 	runs := make([]merge.Sequence, p)
@@ -154,6 +189,8 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 			}
 			runs[src] = merge.Sequence{Strings: rs}
 		}
+		// The arena decoders copied everything out of the message.
+		c.Release(recvd[src])
 	}
 
 	// Step 4: multiway merge.
@@ -170,28 +207,30 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 	return Result{Strings: out.Strings, LCPs: out.LCPs}
 }
 
-// lcpRun extracts the LCP slice of a bucket; the first entry is the
-// boundary with a string that stays on this PE, so it is zeroed (the first
-// string of a run always travels uncompressed).
-func lcpRun(lcp []int32, lo, hi int) []int32 {
+// lcpSub is the allocation-free view of a bucket's LCP run: the boundary
+// entry lcp[lo] belongs to a string that stays on this PE, and every
+// encoder of a run ignores (or re-derives as zero) its first entry, so no
+// zeroed copy is needed.
+func lcpSub(lcp []int32, lo, hi int) []int32 {
 	if lo >= hi {
 		return nil
 	}
-	run := make([]int32, hi-lo)
-	copy(run, lcp[lo:hi])
-	run[0] = 0
-	return run
+	return lcp[lo:hi]
 }
 
-// encodeStringsWithLCPs is the no-compression, LCP-merging exchange format:
-// full strings plus the raw LCP array (the LCP values still enable the
-// cheaper merge even though the strings travel uncompressed).
-func encodeStringsWithLCPs(ss [][]byte, lcps []int32) []byte {
-	blob := wire.EncodeStrings(ss)
-	w := wire.NewBuffer(len(blob) + 4*len(lcps) + 16)
-	w.BytesPrefixed(blob)
-	w.BytesPrefixed(wire.EncodeInt32s(lcps))
-	return w.Bytes()
+// appendStringsWithLCPs appends the no-compression, LCP-merging exchange
+// format: full strings plus the raw LCP array (the LCP values still enable
+// the cheaper merge even though the strings travel uncompressed). The
+// first LCP entry is transmitted as zero — it is the boundary with a
+// string that stays on the sender. sizes carries the (blob, lblob) byte
+// sizes the caller already computed for the arena, so the bucket is not
+// traversed a second time.
+func appendStringsWithLCPs(dst []byte, ss [][]byte, lcps []int32, sizes [2]int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(sizes[0]))
+	dst = wire.AppendStrings(dst, ss)
+	dst = binary.AppendUvarint(dst, uint64(sizes[1]))
+	dst = wire.AppendInt32sRun(dst, lcps)
+	return dst
 }
 
 func decodeStringsWithLCPs(msg []byte) ([][]byte, []int32, error) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"dss/internal/comm"
 	"dss/internal/dupdetect"
 	"dss/internal/merge"
@@ -87,10 +89,13 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 		sats[i] = originSat(c.Rank(), i)
 	}
 
-	// Step 1: local sort with LCP array, carrying origins.
+	// Step 1: local sort with LCP array, carrying origins. Radix scratch
+	// comes from the sorter pool.
 	c.SetPhase(stats.PhaseLocalSort)
-	lcp, work := strsort.SortLCP(local, sats)
-	c.AddWork(work)
+	st := strsort.Get()
+	lcp := st.SortLCPInto(local, sats, nil)
+	c.AddWork(st.Work())
+	strsort.Put(st)
 
 	// Step 1+ε: approximate distinguishing prefix lengths.
 	dd := dupdetect.ApproxDist(c, local, dupdetect.Options{
@@ -161,17 +166,39 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 	off := partition.Buckets(prefixes, splitters)
 
 	// Step 3: LCP-compressed all-to-all exchange of the prefixes plus
-	// their origins.
+	// their origins. As in MergeSort, all outgoing parts are encoded into
+	// one exactly pre-sized arena — O(1) buffer allocations per PE — and
+	// the per-bucket LCP runs are direct sub-slices of the prefix LCP
+	// array (the encoder ignores the boundary entry).
 	c.SetPhase(stats.PhaseExchange)
 	g := comm.NewGroup(c, allRanks(p), opt.GroupID+8)
 	parts := make([][]byte, p)
+	blobSizes := make([]int, p)
+	oSizes := make([]int, p)
+	total := 0
 	for dst := 0; dst < p; dst++ {
 		lo, hi := off[dst], off[dst+1]
-		blob := wire.EncodeStringsLCP(prefixes[lo:hi], lcpRun(plcp, lo, hi))
-		w := wire.NewBuffer(len(blob) + 8*(hi-lo) + 16)
-		w.BytesPrefixed(blob)
-		w.BytesPrefixed(wire.EncodeUint64s(sats[lo:hi]))
-		parts[dst] = w.Bytes()
+		blobSizes[dst] = wire.StringsLCPSize(prefixes[lo:hi], lcpSub(plcp, lo, hi))
+		oSize := wire.UvarintLen(uint64(hi - lo))
+		for _, u := range sats[lo:hi] {
+			oSize += wire.UvarintLen(u)
+		}
+		oSizes[dst] = oSize
+		total += wire.UvarintLen(uint64(blobSizes[dst])) + blobSizes[dst] +
+			wire.UvarintLen(uint64(oSize)) + oSize
+	}
+	arena := make([]byte, 0, total)
+	for dst := 0; dst < p; dst++ {
+		lo, hi := off[dst], off[dst+1]
+		start := len(arena)
+		arena = binary.AppendUvarint(arena, uint64(blobSizes[dst]))
+		arena = wire.AppendStringsLCP(arena, prefixes[lo:hi], lcpSub(plcp, lo, hi))
+		arena = binary.AppendUvarint(arena, uint64(oSizes[dst]))
+		arena = binary.AppendUvarint(arena, uint64(hi-lo))
+		for _, u := range sats[lo:hi] {
+			arena = binary.AppendUvarint(arena, u)
+		}
+		parts[dst] = arena[start:len(arena):len(arena)]
 	}
 	recvd := g.Alltoallv(parts)
 	runs := make([]merge.Sequence, p)
@@ -191,6 +218,7 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 			panic("pdms: corrupt origin run")
 		}
 		runs[src] = merge.Sequence{Strings: rs, LCPs: rl, Sats: ro}
+		c.Release(recvd[src]) // decoders copied everything out
 	}
 
 	// Step 4: LCP-aware multiway merge of the prefix runs.
@@ -250,6 +278,7 @@ func Reconstruct(c *comm.Comm, res Result, input [][]byte, gid int) [][]byte {
 			resp.BytesPrefixed(input[idx])
 		}
 		answers[src] = resp.Bytes()
+		c.Release(queries[src])
 	}
 	got := g.Alltoallv(answers)
 	out := make([][]byte, len(res.Origins))
@@ -259,15 +288,20 @@ func Reconstruct(c *comm.Comm, res Result, input [][]byte, gid int) [][]byte {
 		if err != nil || cnt != uint64(len(perPE[pe])) {
 			panic("pdms: corrupt reconstruction answer")
 		}
+		// Flat-arena copy: all answered strings from this PE share one
+		// backing buffer instead of one allocation each.
+		arena := make([]byte, 0, r.Remaining())
 		for k := 0; k < int(cnt); k++ {
 			s, err := r.BytesPrefixed()
 			if err != nil {
 				panic("pdms: corrupt reconstruction answer")
 			}
-			cp := make([]byte, len(s))
-			copy(cp, s)
-			out[perPE[pe][k].pos] = cp
+			off := len(arena)
+			arena = append(arena, s...)
+			end := len(arena)
+			out[perPE[pe][k].pos] = arena[off:end:end]
 		}
+		c.Release(got[pe])
 	}
 	return out
 }

@@ -17,93 +17,173 @@ import (
 var ErrCorrupt = errors.New("golomb: corrupt stream")
 
 // BitWriter appends single bits and fixed-width bit fields to a byte slice,
-// most-significant-bit first within each byte.
+// most-significant-bit first within each byte. Bits accumulate in a 64-bit
+// word and are flushed to the byte slice eight bytes' worth at a time, so a
+// WriteBits or unary-run call costs O(1) instead of one shift per bit. The
+// zero value is ready to use.
 type BitWriter struct {
-	buf  []byte
-	nbit uint8 // bits used in the last byte (0..7; 0 means last byte full)
+	buf []byte
+	acc uint64 // pending bits, MSB-aligned: the top n bits are valid
+	n   uint   // number of pending bits in acc (0..7 between calls)
+}
+
+// NewBitWriter returns a writer whose byte buffer is pre-sized to hold
+// sizeHint bytes, avoiding growth reallocations when the caller can
+// estimate the final code length.
+func NewBitWriter(sizeHint int) *BitWriter {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &BitWriter{buf: make([]byte, 0, sizeHint)}
+}
+
+// flush moves all complete bytes from the accumulator to the buffer,
+// leaving at most 7 pending bits.
+func (w *BitWriter) flush() {
+	for w.n >= 8 {
+		w.buf = append(w.buf, byte(w.acc>>56))
+		w.acc <<= 8
+		w.n -= 8
+	}
 }
 
 // WriteBit appends one bit.
 func (w *BitWriter) WriteBit(b uint) {
-	if w.nbit == 0 {
-		w.buf = append(w.buf, 0)
-	}
-	if b != 0 {
-		w.buf[len(w.buf)-1] |= 1 << (7 - w.nbit)
-	}
-	w.nbit = (w.nbit + 1) & 7
+	w.WriteBits(uint64(b&1), 1)
 }
 
 // WriteBits appends the low n bits of v, most significant first (n ≤ 64).
 func (w *BitWriter) WriteBits(v uint64, n uint) {
-	for i := int(n) - 1; i >= 0; i-- {
-		w.WriteBit(uint(v>>uint(i)) & 1)
+	if n == 0 {
+		return
 	}
+	if n < 64 {
+		v &= 1<<n - 1
+	}
+	if w.n+n > 64 {
+		// Up to 7 pending bits plus up to 64 new ones: split the field.
+		half := n / 2
+		w.WriteBits(v>>half, n-half)
+		w.WriteBits(v, half)
+		return
+	}
+	w.acc |= v << (64 - w.n - n)
+	w.n += n
+	w.flush()
 }
 
-// WriteUnary appends q 1-bits followed by a terminating 0-bit.
+// WriteUnary appends q 1-bits followed by a terminating 0-bit, emitting up
+// to 32 bits per step.
 func (w *BitWriter) WriteUnary(q uint64) {
-	for ; q > 0; q-- {
-		w.WriteBit(1)
+	for q >= 32 {
+		w.WriteBits(0xFFFFFFFF, 32)
+		q -= 32
 	}
-	w.WriteBit(0)
+	// q ones followed by the terminating zero, in one field of q+1 bits.
+	w.WriteBits(1<<(q+1)-2, uint(q)+1)
 }
 
-// Bytes returns the encoded stream (the last byte is zero-padded).
-func (w *BitWriter) Bytes() []byte { return w.buf }
+// Bytes returns the encoded stream (the last byte is zero-padded). The
+// writer remains usable: further writes continue the unpadded stream. The
+// padding byte is appended with the buffer's capacity clipped, so a
+// returned snapshot is never mutated by later writes.
+func (w *BitWriter) Bytes() []byte {
+	if w.n == 0 {
+		return w.buf
+	}
+	return append(w.buf[:len(w.buf):len(w.buf)], byte(w.acc>>56))
+}
 
 // BitLen returns the number of bits written so far.
 func (w *BitWriter) BitLen() int {
-	if w.nbit == 0 {
-		return len(w.buf) * 8
-	}
-	return (len(w.buf)-1)*8 + int(w.nbit)
+	return len(w.buf)*8 + int(w.n)
 }
 
-// BitReader consumes a stream produced by BitWriter.
+// BitReader consumes a stream produced by BitWriter. It keeps up to 64
+// look-ahead bits in an accumulator refilled eight bytes at a time, so
+// field reads and unary runs cost O(1) per call instead of per bit.
 type BitReader struct {
 	buf []byte
-	pos int // bit position
+	pos int    // next byte to load into the accumulator
+	acc uint64 // look-ahead bits, MSB-aligned: the top n bits are valid
+	n   uint   // number of valid bits in acc
 }
 
 // NewBitReader returns a reader over the stream.
 func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
 
-// ReadBit reads one bit.
-func (r *BitReader) ReadBit() (uint, error) {
-	if r.pos >= len(r.buf)*8 {
-		return 0, ErrCorrupt
+// refill tops the accumulator up to at least 57 valid bits (or to end of
+// stream).
+func (r *BitReader) refill() {
+	for r.n <= 56 && r.pos < len(r.buf) {
+		r.acc |= uint64(r.buf[r.pos]) << (56 - r.n)
+		r.pos++
+		r.n += 8
 	}
-	b := r.buf[r.pos/8] >> (7 - uint(r.pos&7)) & 1
-	r.pos++
-	return uint(b), nil
 }
 
-// ReadBits reads an n-bit big-endian field.
+// ReadBit reads one bit.
+func (r *BitReader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// ReadBits reads an n-bit big-endian field (n ≤ 64).
 func (r *BitReader) ReadBits(n uint) (uint64, error) {
-	var v uint64
-	for i := uint(0); i < n; i++ {
-		b, err := r.ReadBit()
+	if n == 0 {
+		return 0, nil
+	}
+	if n > 56 {
+		// A refill tops the accumulator up to 57..64 bits, which cannot be
+		// guaranteed to cover the widest fields: read them in two halves.
+		hi, err := r.ReadBits(n - 32)
 		if err != nil {
 			return 0, err
 		}
-		v = v<<1 | uint64(b)
+		lo, err := r.ReadBits(32)
+		if err != nil {
+			return 0, err
+		}
+		return hi<<32 | lo, nil
 	}
+	if r.n < n {
+		r.refill()
+		if r.n < n {
+			return 0, ErrCorrupt
+		}
+	}
+	v := r.acc >> (64 - n)
+	r.acc <<= n
+	r.n -= n
 	return v, nil
 }
 
-// ReadUnary reads a unary-coded quotient.
+// ReadUnary reads a unary-coded quotient, consuming whole runs of 1-bits
+// per accumulator refill via leading-zero counting.
 func (r *BitReader) ReadUnary() (uint64, error) {
 	var q uint64
 	for {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+		if r.n == 0 {
+			r.refill()
+			if r.n == 0 {
+				return 0, ErrCorrupt
+			}
 		}
-		if b == 0 {
-			return q, nil
+		// Leading ones of the valid window = leading zeros of ^acc; the
+		// invalid low bits of acc are zero, so ^acc is one there and the
+		// count never overshoots r.n by more than the window end.
+		ones := uint(bits.LeadingZeros64(^r.acc))
+		if ones >= r.n {
+			// Every valid bit is a one: consume them all and refill.
+			q += uint64(r.n)
+			r.acc, r.n = 0, 0
+			continue
 		}
-		q++
+		// ones 1-bits followed by the terminating 0-bit.
+		q += uint64(ones)
+		r.acc <<= ones + 1
+		r.n -= ones + 1
+		return q, nil
 	}
 }
 
@@ -178,7 +258,11 @@ func EncodeSorted(vals []uint64) []byte {
 	m := ChooseM(span, len(vals))
 	hdr.Uvarint(m)
 	hdr.Uvarint(vals[0])
-	w := &BitWriter{}
+	// Estimated code length: the quotients sum to span/m ≈ n/ln 2 bits of
+	// unary, plus one terminator and one ⌈log2 m⌉-bit remainder per value.
+	remBits := uint64(bits.Len64(m-1)) + 1
+	estBits := span/m + uint64(len(vals)-1)*remBits
+	w := NewBitWriter(int(estBits/8) + 1)
 	prev := vals[0]
 	for _, v := range vals[1:] {
 		if v < prev {

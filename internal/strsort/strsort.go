@@ -11,6 +11,12 @@
 // distributed algorithms use to report where each output string came from.
 package strsort
 
+import (
+	"sync"
+
+	"dss/internal/strutil"
+)
+
 // Thresholds: subproblems with at least radixThreshold strings are sorted
 // by one MSD radix sort pass; medium ones by multikey quicksort; below
 // insertionThreshold plain LCP insertion sort takes over.
@@ -28,27 +34,62 @@ type Sorter struct {
 	tmpSat     []uint64
 }
 
+// sorterPool recycles Sorter scratch space across sorting runs, so
+// repeated sorts in one process (the benchmark loops, the per-PE sorts of
+// every distributed algorithm) stop reallocating radix distribution
+// buffers.
+var sorterPool = sync.Pool{New: func() any { return new(Sorter) }}
+
+// Get returns a Sorter with recycled scratch space and a zeroed work
+// counter. Return it with Put when the sort is done.
+func Get() *Sorter {
+	st := sorterPool.Get().(*Sorter)
+	st.work = 0
+	return st
+}
+
+// Put returns a Sorter to the scratch pool. The string scratch is cleared
+// so pooled Sorters do not pin the last run's character data.
+func Put(st *Sorter) {
+	clear(st.tmpStrings[:cap(st.tmpStrings)])
+	sorterPool.Put(st)
+}
+
 // Work returns the characters-inspected counter accumulated so far.
 func (st *Sorter) Work() int64 { return st.work }
 
 // SortLCP sorts ss in place lexicographically, computes its LCP array
 // (lcp[0] == 0, lcp[i] == LCP(ss[i-1], ss[i])), permutes sat alongside if
 // non-nil, and returns the number of characters inspected. This is the
-// Step 1 sorter of Algorithms MS and PDMS.
+// Step 1 sorter of Algorithms MS and PDMS. Scratch space is drawn from the
+// package pool.
 func SortLCP(ss [][]byte, sat []uint64) (lcp []int32, work int64) {
-	st := &Sorter{}
+	st := Get()
 	lcp = st.SortLCPInto(ss, sat, nil)
-	return lcp, st.work
+	work = st.work
+	Put(st)
+	return lcp, work
 }
 
 // Sort sorts ss in place without producing an LCP array and returns the
-// number of characters inspected.
+// number of characters inspected. Scratch space is drawn from the package
+// pool.
 func Sort(ss [][]byte, sat []uint64) (work int64) {
-	st := &Sorter{}
+	st := Get()
 	if len(ss) > 1 {
 		st.mkqsort(ss, sat, 0)
 	}
-	return st.work
+	work = st.work
+	Put(st)
+	return work
+}
+
+// Sort sorts ss in place without producing an LCP array, reusing the
+// Sorter's scratch space and accumulating into its work counter.
+func (st *Sorter) Sort(ss [][]byte, sat []uint64) {
+	if len(ss) > 1 {
+		st.mkqsort(ss, sat, 0)
+	}
 }
 
 // SortLCPInto is like SortLCP but reuses the Sorter's scratch space and an
@@ -268,27 +309,7 @@ func (st *Sorter) fillLCP(ss [][]byte, lcp []int32, depth int) {
 }
 
 // compareLCPFrom compares a and b skipping the first `from` characters,
-// returning the comparison and the full LCP.
+// returning the comparison and the full LCP (word-wise via strutil).
 func compareLCPFrom(a, b []byte, from int) (cmp, lcp int) {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	i := from
-	for i < n && a[i] == b[i] {
-		i++
-	}
-	switch {
-	case i < len(a) && i < len(b):
-		if a[i] < b[i] {
-			return -1, i
-		}
-		return 1, i
-	case i < len(b):
-		return -1, i
-	case i < len(a):
-		return 1, i
-	default:
-		return 0, i
-	}
+	return strutil.CompareLCP(a, b, from)
 }

@@ -13,23 +13,40 @@ package strutil
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math/bits"
 	"sort"
 )
 
 // Compare returns -1, 0, or +1 for a < b, a == b, a > b lexicographically.
 func Compare(a, b []byte) int { return bytes.Compare(a, b) }
 
-// LCP returns the length of the longest common prefix of a and b.
-func LCP(a, b []byte) int {
+// mismatchFrom returns the first index ≥ from at which a and b differ,
+// scanning eight bytes per step; the result is capped at min(len(a),len(b)).
+// The XOR of two little-endian 64-bit loads has its lowest set bit inside
+// the first differing byte, so TrailingZeros64/8 converts the word mismatch
+// into a byte index without a scalar re-scan.
+func mismatchFrom(a, b []byte, from int) int {
 	n := len(a)
 	if len(b) < n {
 		n = len(b)
 	}
-	i := 0
+	i := from
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+		if x != 0 {
+			return i + bits.TrailingZeros64(x)>>3
+		}
+	}
 	for i < n && a[i] == b[i] {
 		i++
 	}
 	return i
+}
+
+// LCP returns the length of the longest common prefix of a and b.
+func LCP(a, b []byte) int {
+	return mismatchFrom(a, b, 0)
 }
 
 // CompareLCP compares a and b, skipping the first `from` characters, which
@@ -37,14 +54,7 @@ func LCP(a, b []byte) int {
 // full LCP(a, b). The number of characters inspected is LCP(a,b)-from+1,
 // which is what makes LCP-aware merging inspect every character only once.
 func CompareLCP(a, b []byte, from int) (cmp, lcp int) {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	i := from
-	for i < n && a[i] == b[i] {
-		i++
-	}
+	i := mismatchFrom(a, b, from)
 	switch {
 	case i < len(a) && i < len(b):
 		if a[i] < b[i] {
@@ -63,11 +73,44 @@ func CompareLCP(a, b []byte, from int) (cmp, lcp int) {
 // ComputeLCPArray returns the LCP array of a sorted string array:
 // out[0] = 0 and out[i] = LCP(ss[i-1], ss[i]).
 func ComputeLCPArray(ss [][]byte) []int32 {
-	out := make([]int32, len(ss))
+	return ComputeLCPArrayInto(ss, nil)
+}
+
+// ComputeLCPArrayInto is ComputeLCPArray writing into a caller-provided
+// slice when it has sufficient capacity, so repeated computations in one
+// run reuse the same allocation.
+func ComputeLCPArrayInto(ss [][]byte, out []int32) []int32 {
+	if cap(out) < len(ss) {
+		out = make([]int32, len(ss))
+	}
+	out = out[:len(ss)]
+	if len(out) > 0 {
+		out[0] = 0
+	}
 	for i := 1; i < len(ss); i++ {
 		out[i] = int32(LCP(ss[i-1], ss[i]))
 	}
 	return out
+}
+
+// ValidateSortedLCP checks sortedness and LCP correctness in one pass:
+// it returns the index of the first violation (order or LCP value), or -1.
+// One CompareLCP per adjacent pair replaces the two scans of
+// IsSorted + ValidateLCPArray, inspecting each character once.
+func ValidateSortedLCP(ss [][]byte, lcps []int32) int {
+	if len(lcps) != len(ss) {
+		return 0
+	}
+	if len(lcps) > 0 && lcps[0] != 0 {
+		return 0
+	}
+	for i := 1; i < len(ss); i++ {
+		cmp, h := CompareLCP(ss[i-1], ss[i], 0)
+		if cmp > 0 || int(lcps[i]) != h {
+			return i
+		}
+	}
+	return -1
 }
 
 // IsSorted reports whether ss is lexicographically non-decreasing.

@@ -29,7 +29,37 @@ var (
 // fragment is already known to be out of order (an early return on one PE
 // would deadlock the others inside the collective).
 func Sortedness(c *comm.Comm, ss [][]byte, gid int) error {
-	locallySorted := strutil.IsSorted(ss)
+	return sortedness(c, ss, nil, gid)
+}
+
+// SortednessLCP is Sortedness fused with LCP array validation: when lcps
+// is non-nil, local order and LCP correctness are checked in ONE
+// CompareLCP pass per adjacent pair instead of the two character scans of
+// Sortedness + LCPs — the sorters already produced the LCP array, so
+// validating it subsumes the order check. With nil lcps it degrades to
+// plain Sortedness. Collective call with the same message schedule either
+// way, so mixed use across PEs is not allowed.
+func SortednessLCP(c *comm.Comm, ss [][]byte, lcps []int32, gid int) error {
+	return sortedness(c, ss, lcps, gid)
+}
+
+func sortedness(c *comm.Comm, ss [][]byte, lcps []int32, gid int) error {
+	var locallySorted bool
+	var localErr error
+	if lcps != nil {
+		if i := strutil.ValidateSortedLCP(ss, lcps); i >= 0 {
+			// Distinguish order violations from LCP mismatches only on the
+			// failure path.
+			if i > 0 && strutil.Compare(ss[i-1], ss[i]) > 0 {
+				localErr = fmt.Errorf("%w at index %d", ErrLocalOrder, i)
+			} else {
+				localErr = fmt.Errorf("%w at index %d", ErrLCP, i)
+			}
+		}
+		locallySorted = localErr == nil
+	} else {
+		locallySorted = strutil.IsSorted(ss)
+	}
 	g := comm.NewGroup(c, ranks(c.P()), gid)
 	w := wire.NewBuffer(32)
 	if locallySorted {
@@ -56,7 +86,11 @@ func Sortedness(c *comm.Comm, ss [][]byte, gid int) error {
 			return fmt.Errorf("verify: corrupt boundary message from PE %d", pe)
 		}
 		if sortedFlag == 0 && firstErr == nil {
-			firstErr = fmt.Errorf("%w (PE %d)", ErrLocalOrder, pe)
+			if pe == c.Rank() && localErr != nil {
+				firstErr = fmt.Errorf("%w (PE %d)", localErr, pe)
+			} else {
+				firstErr = fmt.Errorf("%w (PE %d)", ErrLocalOrder, pe)
+			}
 		}
 		if has == 0 {
 			continue

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Errors returned by the decoders.
@@ -110,20 +111,37 @@ func (r *Reader) BytesPrefixed() ([]byte, error) {
 	return r.Raw(int(n))
 }
 
+// UvarintLen returns the encoded size of v in bytes.
+func UvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// StringsSize returns the exact encoded size of EncodeStrings(ss).
+func StringsSize(ss [][]byte) int {
+	total := UvarintLen(uint64(len(ss)))
+	for _, s := range ss {
+		total += UvarintLen(uint64(len(s))) + len(s)
+	}
+	return total
+}
+
 // EncodeStrings serializes a string set without LCP compression:
 // count, then length-prefixed strings. This is the exchange format of
 // MS-simple and FKmerge.
 func EncodeStrings(ss [][]byte) []byte {
-	total := 0
+	return AppendStrings(make([]byte, 0, StringsSize(ss)), ss)
+}
+
+// AppendStrings appends the EncodeStrings encoding of ss to dst and
+// returns the extended slice, letting callers serialize many runs into one
+// pre-sized arena with O(1) allocations.
+func AppendStrings(dst []byte, ss [][]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
 	for _, s := range ss {
-		total += len(s) + binary.MaxVarintLen32
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
 	}
-	w := NewBuffer(total + binary.MaxVarintLen32)
-	w.Uvarint(uint64(len(ss)))
-	for _, s := range ss {
-		w.BytesPrefixed(s)
-	}
-	return w.Bytes()
+	return dst
 }
 
 // DecodeStrings reverses EncodeStrings. The returned strings are copies and
@@ -159,15 +177,31 @@ func DecodeStrings(msg []byte) ([][]byte, error) {
 // in full). This is the Step 3 exchange format of Algorithm MS with LCP
 // compression and of PDMS.
 func EncodeStringsLCP(ss [][]byte, lcps []int32) []byte {
+	return AppendStringsLCP(make([]byte, 0, StringsLCPSize(ss, lcps)), ss, lcps)
+}
+
+// StringsLCPSize returns the exact encoded size of EncodeStringsLCP.
+func StringsLCPSize(ss [][]byte, lcps []int32) int {
+	total := UvarintLen(uint64(len(ss)))
+	for i, s := range ss {
+		h := 0
+		if i > 0 {
+			h = int(lcps[i])
+		}
+		total += UvarintLen(uint64(h)) + UvarintLen(uint64(len(s)-h)) + len(s) - h
+	}
+	return total
+}
+
+// AppendStringsLCP appends the EncodeStringsLCP encoding to dst and
+// returns the extended slice (see AppendStrings). lcps[0] is ignored: the
+// first string of a run always travels in full, so callers can pass a
+// sub-slice of a larger LCP array without zeroing its boundary entry.
+func AppendStringsLCP(dst []byte, ss [][]byte, lcps []int32) []byte {
 	if len(ss) != len(lcps) && len(ss) > 0 {
 		panic(fmt.Sprintf("wire: %d strings but %d lcps", len(ss), len(lcps)))
 	}
-	total := 0
-	for _, s := range ss {
-		total += len(s) + 2*binary.MaxVarintLen32
-	}
-	w := NewBuffer(total/2 + 16)
-	w.Uvarint(uint64(len(ss)))
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
 	for i, s := range ss {
 		h := 0
 		if i > 0 {
@@ -176,15 +210,22 @@ func EncodeStringsLCP(ss [][]byte, lcps []int32) []byte {
 				panic(fmt.Sprintf("wire: lcp %d exceeds string length %d", h, len(s)))
 			}
 		}
-		w.Uvarint(uint64(h))
-		w.BytesPrefixed(s[h:])
+		dst = binary.AppendUvarint(dst, uint64(h))
+		dst = binary.AppendUvarint(dst, uint64(len(s)-h))
+		dst = append(dst, s[h:]...)
 	}
-	return w.Bytes()
+	return dst
 }
 
 // DecodeStringsLCP reverses EncodeStringsLCP, rematerializing full strings
 // by copying the shared prefix from the previously decoded string. It
 // returns the strings and the LCP array of the run (lcps[0] == 0).
+//
+// The decode is flat-arena: a first pass over the varints computes the
+// exact total character count, then all strings are materialized as
+// sub-slices of one contiguous backing buffer — three allocations per
+// message instead of one per string, and the merged runs stay contiguous
+// in memory for the Step 4 merge.
 func DecodeStringsLCP(msg []byte) ([][]byte, []int32, error) {
 	r := NewReader(msg)
 	cnt, err := r.Uvarint()
@@ -194,28 +235,43 @@ func DecodeStringsLCP(msg []byte) ([][]byte, []int32, error) {
 	if cnt > uint64(len(msg))+1 {
 		return nil, nil, ErrCorrupt
 	}
-	ss := make([][]byte, 0, cnt)
-	lcps := make([]int32, 0, cnt)
-	var prev []byte
+	// Pass 1: validate the structure and size the arena.
+	sizing := *r
+	total := 0
+	prevLen := 0
 	for i := uint64(0); i < cnt; i++ {
-		h64, err := r.Uvarint()
+		h64, err := sizing.Uvarint()
 		if err != nil {
+			return nil, nil, err
+		}
+		n64, err := sizing.Uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := sizing.Raw(int(n64)); err != nil {
 			return nil, nil, err
 		}
 		h := int(h64)
-		suffix, err := r.BytesPrefixed()
-		if err != nil {
-			return nil, nil, err
-		}
-		if i == 0 && h != 0 {
+		if (i == 0 && h != 0) || h > prevLen {
 			return nil, nil, ErrCorrupt
 		}
-		if h > len(prev) {
-			return nil, nil, ErrCorrupt
-		}
-		s := make([]byte, h+len(suffix))
-		copy(s, prev[:h])
-		copy(s[h:], suffix)
+		prevLen = h + int(n64)
+		total += prevLen
+	}
+	// Pass 2: materialize into the arena.
+	ss := make([][]byte, 0, cnt)
+	lcps := make([]int32, 0, cnt)
+	arena := make([]byte, 0, total)
+	var prev []byte
+	for i := uint64(0); i < cnt; i++ {
+		h64, _ := r.Uvarint()
+		h := int(h64)
+		suffix, _ := r.BytesPrefixed()
+		off := len(arena)
+		arena = append(arena, prev[:h]...)
+		arena = append(arena, suffix...)
+		end := len(arena)
+		s := arena[off:end:end]
 		ss = append(ss, s)
 		lcps = append(lcps, int32(h))
 		prev = s
@@ -228,12 +284,52 @@ func DecodeStringsLCP(msg []byte) ([][]byte, []int32, error) {
 
 // EncodeInt32s serializes an int32 slice as varints (values must be >= 0).
 func EncodeInt32s(vs []int32) []byte {
-	w := NewBuffer(len(vs)*2 + 8)
-	w.Uvarint(uint64(len(vs)))
+	return AppendInt32s(make([]byte, 0, Int32sSize(vs)), vs)
+}
+
+// Int32sSize returns the exact encoded size of EncodeInt32s(vs).
+func Int32sSize(vs []int32) int {
+	n := UvarintLen(uint64(len(vs)))
 	for _, v := range vs {
-		w.Uvarint(uint64(uint32(v)))
+		n += UvarintLen(uint64(uint32(v)))
 	}
-	return w.Bytes()
+	return n
+}
+
+// AppendInt32s appends the EncodeInt32s encoding of vs to dst.
+func AppendInt32s(dst []byte, vs []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.AppendUvarint(dst, uint64(uint32(v)))
+	}
+	return dst
+}
+
+// AppendInt32sRun and Int32sRunSize are the EncodeInt32s format with the
+// first value transmitted as zero: the run-boundary convention of the LCP
+// exchange (see AppendStringsLCP), kept here so the encoding and
+// DecodeInt32s live in one package.
+func AppendInt32sRun(dst []byte, vs []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for i, v := range vs {
+		if i == 0 {
+			v = 0
+		}
+		dst = binary.AppendUvarint(dst, uint64(uint32(v)))
+	}
+	return dst
+}
+
+// Int32sRunSize returns the exact encoded size of AppendInt32sRun(nil, vs).
+func Int32sRunSize(vs []int32) int {
+	n := UvarintLen(uint64(len(vs)))
+	for i, v := range vs {
+		if i == 0 {
+			v = 0
+		}
+		n += UvarintLen(uint64(uint32(v)))
+	}
+	return n
 }
 
 // DecodeInt32s reverses EncodeInt32s.

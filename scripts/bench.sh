@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the paper-figure benchmarks and snapshot the results.
+#
+# Runs BenchmarkFig4/BenchmarkFig5* (and optionally any extra -bench
+# pattern) with -benchmem, then converts the output into a JSON snapshot
+# BENCH_<date>.json at the repository root, so the performance trajectory
+# of the repo is recorded PR over PR.
+#
+# Usage:
+#   scripts/bench.sh                 # Fig4 + Fig5, benchtime 3x
+#   BENCHTIME=10x scripts/bench.sh   # more iterations
+#   BENCH_PATTERN='BenchmarkFig4' scripts/bench.sh
+#   BENCH_OUT=BENCH_custom.json scripts/bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-BenchmarkFig4|BenchmarkFig5}"
+BENCHTIME="${BENCHTIME:-3x}"
+DATE="$(date +%Y-%m-%d)"
+OUT="${BENCH_OUT:-BENCH_${DATE}.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running: go test -run '^$' -bench '$PATTERN' -benchmem -benchtime $BENCHTIME ." >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+awk -v date="$DATE" -v benchtime="$BENCHTIME" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n", date, benchtime
+}
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    iters = $2
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        key = unit
+        gsub(/\//, "_per_", key)
+        gsub(/[^A-Za-z0-9_]/, "_", key)
+        line = line sprintf(", \"%s\": %s", key, val)
+    }
+    results[++n] = sprintf("    {\"name\": \"%s\", \"iters\": %s%s}", name, iters, line)
+}
+END {
+    printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu
+    printf "  \"results\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", results[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2

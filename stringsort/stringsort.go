@@ -227,10 +227,12 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 	if cfg.Validate {
 		err := machine.Run(func(c *comm.Comm) error {
 			res := results[c.Rank()]
-			if err := verify.Sortedness(c, res.Strings, 901); err != nil {
-				return err
-			}
-			if err := verify.LCPs(res.Strings, res.LCPs); err != nil {
+			// One fused pass validates local order and the LCP array
+			// together (the sorters already produced the LCPs; recomputing
+			// them separately from an IsSorted scan would inspect every
+			// character twice). Algorithms without LCP output fall back to
+			// the plain order check.
+			if err := verify.SortednessLCP(c, res.Strings, res.LCPs, 901); err != nil {
 				return err
 			}
 			if !prefixOnly {
