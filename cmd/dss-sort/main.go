@@ -6,6 +6,12 @@
 //
 //	dss-sort -algo PDMS -p 8 [-lcp] [-validate] < input.txt > sorted.txt
 //	dss-sort -algo MS -p 16 -in big.txt -out sorted.txt
+//	dss-sort -algo PDMS -p 4 -transport tcp < input.txt > sorted.txt
+//
+// With -transport tcp the PEs exchange messages over real loopback TCP
+// sockets instead of in-process mailboxes (output and statistics are
+// identical — accounting happens above the transport); -peers pins the
+// bind addresses and sets p. For one PE per OS process, see dss-worker.
 package main
 
 import (
@@ -19,19 +25,35 @@ import (
 )
 
 func main() {
-	algoName := flag.String("algo", "MS", "algorithm: FKmerge, hQuick, MS-simple, MS, PDMS, PDMS-Golomb")
+	algoName := flag.String("algo", "MS", "algorithm: "+stringsort.AlgorithmNames())
 	p := flag.Int("p", 4, "number of simulated PEs")
 	inPath := flag.String("in", "", "input file (default stdin)")
 	outPath := flag.String("out", "", "output file (default stdout)")
 	printLCP := flag.Bool("lcp", false, "prefix each output line with its LCP value")
 	validate := flag.Bool("validate", false, "run the distributed verifier after sorting")
 	seed := flag.Uint64("seed", 1, "random seed")
+	transportName := flag.String("transport", "local", "message substrate: local (in-process mailboxes) or tcp (real sockets)")
+	peersFlag := flag.String("peers", "", "comma-separated host:port bind addresses for the tcp transport, one per PE (sets p; default automatic loopback ports)")
 	flag.Parse()
 
 	algo, err := stringsort.ParseAlgorithm(*algoName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	tr, err := stringsort.ParseTransport(*transportName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var peers []string
+	if *peersFlag != "" {
+		if tr != stringsort.TransportTCP {
+			fmt.Fprintln(os.Stderr, "dss-sort: -peers requires -transport tcp")
+			os.Exit(2)
+		}
+		peers = stringsort.ParsePeers(*peersFlag)
+		*p = len(peers)
 	}
 
 	var in io.Reader = os.Stdin
@@ -75,6 +97,8 @@ func main() {
 		Seed:        *seed,
 		Validate:    *validate,
 		Reconstruct: true,
+		Transport:   tr,
+		TCPPeers:    peers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

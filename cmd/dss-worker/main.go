@@ -1,0 +1,150 @@
+// Command dss-worker runs ONE processing element of a distributed string
+// sort as an OS process, communicating with its peers over TCP. Launch p
+// workers — on one host or many — with the same peer table and input, and
+// together they execute a real distributed sort: rank r's output file holds
+// the r-th fragment of the globally sorted sequence, so concatenating the
+// fragments in rank order yields exactly what `dss-sort` produces in a
+// single process on the same input and seed (identical statistics too —
+// byte accounting happens above the transport).
+//
+// Localhost example (4 workers, PDMS):
+//
+//	PEERS=127.0.0.1:9400,127.0.0.1:9401,127.0.0.1:9402,127.0.0.1:9403
+//	for r in 0 1 2 3; do
+//	  dss-worker -rank $r -peers $PEERS -algo PDMS -in input.txt -out sorted.$r &
+//	done
+//	wait
+//	cat sorted.0 sorted.1 sorted.2 sorted.3 > sorted.txt
+//
+// Every worker reads the full input and keeps the lines of its own rank
+// (round-robin by line number, the same distribution dss-sort uses); on a
+// cluster, ship the input file to every host or place it on a shared
+// filesystem.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dss/internal/transport/tcp"
+	"dss/stringsort"
+)
+
+func main() {
+	rank := flag.Int("rank", -1, "this worker's rank in [0, p)")
+	peersFlag := flag.String("peers", "", "comma-separated host:port peer table, one entry per rank (identical on all workers)")
+	algoName := flag.String("algo", "MS", "algorithm: "+stringsort.AlgorithmNames())
+	inPath := flag.String("in", "", "input file, newline-separated strings (read fully by every worker; required)")
+	outPath := flag.String("out", "", "output file for this rank's sorted fragment (default stdout)")
+	printLCP := flag.Bool("lcp", false, "prefix each output line with its LCP value")
+	validate := flag.Bool("validate", false, "run the distributed verifier after sorting")
+	seed := flag.Uint64("seed", 1, "random seed (identical on all workers)")
+	rendezvous := flag.Duration("rendezvous", 30*time.Second, "how long to wait for peers to appear")
+	statsAll := flag.Bool("stats", false, "print run statistics on every rank (default: rank 0 only)")
+	flag.Parse()
+
+	peers := stringsort.ParsePeers(*peersFlag)
+	if len(peers) == 0 {
+		fatal(fmt.Errorf("missing -peers"))
+	}
+	if *rank < 0 || *rank >= len(peers) {
+		fatal(fmt.Errorf("-rank %d out of range for %d peers", *rank, len(peers)))
+	}
+	algo, err := stringsort.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	if *inPath == "" {
+		fatal(fmt.Errorf("missing -in (every worker reads the shared input file)"))
+	}
+
+	local, total, err := readFragment(*inPath, *rank, len(peers))
+	if err != nil {
+		fatal(err)
+	}
+
+	ep, err := tcp.ConnectConfig(*rank, peers, tcp.Config{RendezvousTimeout: *rendezvous})
+	if err != nil {
+		fatal(err)
+	}
+	defer ep.Close()
+
+	res, err := stringsort.RunPE(ep, local, stringsort.Config{
+		Algorithm:   algo,
+		Seed:        *seed,
+		Validate:    *validate,
+		Reconstruct: true,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("rank %d: %w", *rank, err))
+	}
+
+	// A truncated fragment must not exit 0: the whole point of the worker
+	// is that concatenating the per-rank files yields the sorted sequence,
+	// so write errors are checked explicitly rather than deferred away.
+	var out io.Writer = os.Stdout
+	var outFile *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		outFile = f
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	for i, s := range res.Output.Strings {
+		if *printLCP && res.Output.LCPs != nil {
+			fmt.Fprintf(w, "%d\t", res.Output.LCPs[i])
+		}
+		w.Write(s)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		fatal(fmt.Errorf("rank %d: writing output: %w", *rank, err))
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(fmt.Errorf("rank %d: closing %s: %w", *rank, *outPath, err))
+		}
+	}
+
+	if *rank == 0 || *statsAll {
+		fmt.Fprintf(os.Stderr, "algorithm:        %v on %d worker processes\n", algo, len(peers))
+		fmt.Fprintf(os.Stderr, "strings:          %d\n", total)
+		fmt.Fprintf(os.Stderr, "model time:       %.4f s\n", res.Stats.ModelTime)
+		fmt.Fprintf(os.Stderr, "bytes sent:       %d (%.1f per string)\n",
+			res.Stats.BytesSent, res.Stats.BytesPerString)
+		fmt.Fprintf(os.Stderr, "messages:         %d\n", res.Stats.Messages)
+		fmt.Fprintf(os.Stderr, "work imbalance:   %.3f\n", res.Stats.Imbalance)
+		fmt.Fprintf(os.Stderr, "%s", res.Stats.PhaseTable)
+	}
+}
+
+// readFragment reads the shared input and keeps the lines of the given
+// rank, distributed round-robin by line number exactly like dss-sort.
+func readFragment(path string, rank, p int) (local [][]byte, total int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	for scanner.Scan() {
+		if total%p == rank {
+			local = append(local, append([]byte(nil), scanner.Bytes()...))
+		}
+		total++
+	}
+	return local, total, scanner.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,178 +1,80 @@
-// Package comm implements the distributed-memory machine substrate that the
-// paper's algorithms run on. The original implementation uses MPI on an
-// InfiniBand cluster; here each processing element (PE) is a goroutine with
+// Package comm is the accounting-and-collectives layer the paper's
+// algorithms run on. The original implementation uses MPI on an InfiniBand
+// cluster; here each processing element (PE) owns a transport endpoint with
 // strictly private memory, and all data crosses PE boundaries through
 // explicit tagged point-to-point messages and collective operations built
 // on top of them.
 //
-// The substrate enforces message-passing discipline: every Send copies its
-// payload, so a PE can never observe another PE's memory. Every payload
-// byte and message sent to a *different* PE is attributed to the sending
-// PE's current accounting phase (package stats), which is how the
-// "bytes sent per string" panels of Figures 4 and 5 are reproduced exactly.
+// The message substrate itself is pluggable (package transport): the
+// default backend runs every PE as a goroutine with in-process mailboxes
+// (transport/local), and the TCP backend runs PEs as OS processes connected
+// by persistent pairwise sockets (transport/tcp). comm is deliberately thin
+// over it — rank metadata, Send/Recv forwarding, and the collectives — so
+// the algorithms in internal/core are oblivious to the delivery mechanism.
 //
-// Message semantics follow MPI: messages between a fixed (sender, receiver)
-// pair are non-overtaking, and a receive selects the earliest pending
-// message from the requested source with the requested tag.
+// Byte accounting lives HERE, not in the transports: every payload byte and
+// message sent to a *different* PE is attributed to the sending PE's
+// current accounting phase (package stats) at the comm Send/Recv boundary.
+// This is how the "bytes sent per string" panels of Figures 4 and 5 are
+// reproduced exactly, and it is why the statistics are bit-identical across
+// backends: the transports move bytes, comm counts them.
+//
+// Message semantics follow MPI: every Send's payload is copied (a PE can
+// never observe another PE's memory), messages between a fixed (sender,
+// receiver) pair are non-overtaking, and a receive selects the earliest
+// pending message from the requested source with the requested tag.
 package comm
 
 import (
 	"fmt"
-	"math/bits"
 	"runtime/debug"
 	"sync"
 
 	"dss/internal/stats"
+	"dss/internal/transport"
+	"dss/internal/transport/local"
 )
 
-// bufPool recycles message payload buffers in power-of-two size classes.
-// Send draws its mandatory payload copy from here, and receivers that have
-// fully consumed a payload hand it back through Comm.Release, making a
-// steady-state exchange allocation-free. Returning buffers is optional:
-// an unreleased buffer is simply collected by the GC.
+// Machine is a distributed-memory machine with P processing elements over
+// an in-process fabric. Create one with New (goroutine mailboxes) or
+// NewOver (any fabric, e.g. loopback TCP), then execute an SPMD program
+// with Run. A Machine can be reused for several consecutive Run calls;
+// statistics accumulate until ResetStats is called. Call Close when done to
+// release fabric resources (a no-op for the local backend).
 //
-// The free lists are plain mutex-guarded stacks rather than sync.Pool:
-// putting a []byte into a sync.Pool boxes the slice header on every call,
-// which would re-introduce exactly the per-message allocation the pool is
-// meant to remove. The Machine keeps one bufPool per PE and each PE only
-// ever touches its own (Send and Release are PE-goroutine-confined like
-// the rest of Comm), so the mutex is never contended; it exists only to
-// keep the type safe against future cross-PE use. Buffers migrate freely:
-// a buffer allocated by the sender's pool may be released into the
-// receiver's.
-type bufPool struct {
-	mu      sync.Mutex
-	classes [numBufClasses][][]byte
-}
-
-// numBufClasses covers pooled payloads up to 128 MiB; larger ones fall
-// back to plain allocation. maxPerClass bounds the memory parked per size
-// class.
-const (
-	numBufClasses = 28
-	maxPerClass   = 256
-)
-
-// get returns a buffer of length n with capacity of the containing size
-// class. Contents are unspecified; callers overwrite the full length.
-func (p *bufPool) get(n int) []byte {
-	if n == 0 {
-		return []byte{}
-	}
-	c := bits.Len(uint(n - 1)) // smallest c with n ≤ 1<<c
-	if c >= numBufClasses {
-		return make([]byte, n)
-	}
-	p.mu.Lock()
-	if l := len(p.classes[c]); l > 0 {
-		b := p.classes[c][l-1]
-		p.classes[c] = p.classes[c][:l-1]
-		p.mu.Unlock()
-		return b[:n]
-	}
-	p.mu.Unlock()
-	return make([]byte, n, 1<<c)
-}
-
-// put returns a buffer to the pool, classed by its capacity so that a
-// future get never receives a buffer that is too small.
-func (p *bufPool) put(b []byte) {
-	n := cap(b)
-	if n == 0 {
-		return
-	}
-	c := bits.Len(uint(n)) - 1 // largest c with 1<<c ≤ cap
-	if c >= numBufClasses {
-		return
-	}
-	p.mu.Lock()
-	if len(p.classes[c]) < maxPerClass {
-		p.classes[c] = append(p.classes[c], b[:0])
-	}
-	p.mu.Unlock()
-}
-
-// envelope is one in-flight message.
-type envelope struct {
-	tag  int
-	data []byte
-}
-
-// mailbox queues messages from one fixed sender to one fixed receiver.
-// Senders never block (the queue is unbounded); receivers block until a
-// message with a matching tag arrives.
-type mailbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    []envelope
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-func (m *mailbox) push(tag int, data []byte) {
-	m.mu.Lock()
-	m.q = append(m.q, envelope{tag: tag, data: data})
-	m.mu.Unlock()
-	m.cond.Broadcast()
-}
-
-// pop removes and returns the earliest message with the given tag,
-// blocking until one is available.
-func (m *mailbox) pop(tag int) []byte {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for {
-		for i := range m.q {
-			if m.q[i].tag == tag {
-				data := m.q[i].data
-				m.q = append(m.q[:i], m.q[i+1:]...)
-				return data
-			}
-		}
-		m.cond.Wait()
-	}
-}
-
-// Machine is a simulated distributed-memory machine with P processing
-// elements. Create one with New, then execute an SPMD program with Run.
-// A Machine can be reused for several consecutive Run calls; statistics
-// accumulate until ResetStats is called.
+// SPMD multi-process programs do not use a Machine at all: each process
+// wraps its own endpoint with NewComm instead.
 type Machine struct {
-	p     int
-	boxes [][]*mailbox // boxes[dst][src]
-	pes   []*stats.PE
-	model stats.CostModel
-	pools []bufPool // per-PE recycled payload buffers (see Send / Release)
+	fabric transport.Fabric
+	pes    []*stats.PE
+	model  stats.CostModel
 }
 
-// New creates a machine with p PEs and the default cost model.
+// New creates a machine with p PEs over the in-process mailbox transport
+// and the default cost model.
 func New(p int) *Machine {
 	if p <= 0 {
 		panic("comm: machine needs at least one PE")
 	}
+	return NewOver(local.New(p))
+}
+
+// NewOver creates a machine over an existing connected fabric.
+func NewOver(f transport.Fabric) *Machine {
+	p := f.P()
 	m := &Machine{
-		p:     p,
-		boxes: make([][]*mailbox, p),
-		pes:   make([]*stats.PE, p),
-		model: stats.DefaultModel(),
-		pools: make([]bufPool, p),
+		fabric: f,
+		pes:    make([]*stats.PE, p),
+		model:  stats.DefaultModel(),
 	}
-	for dst := 0; dst < p; dst++ {
-		m.boxes[dst] = make([]*mailbox, p)
-		for src := 0; src < p; src++ {
-			m.boxes[dst][src] = newMailbox()
-		}
-		m.pes[dst] = &stats.PE{Rank: dst}
+	for rank := 0; rank < p; rank++ {
+		m.pes[rank] = &stats.PE{Rank: rank}
 	}
 	return m
 }
 
 // P returns the number of PEs.
-func (m *Machine) P() int { return m.p }
+func (m *Machine) P() int { return m.fabric.P() }
 
 // SetModel replaces the cost model used for reports.
 func (m *Machine) SetModel(model stats.CostModel) { m.model = model }
@@ -189,6 +91,10 @@ func (m *Machine) ResetStats() {
 	}
 }
 
+// Close tears down the underlying fabric. A no-op for the local backend;
+// for socket-backed fabrics it closes every connection.
+func (m *Machine) Close() error { return m.fabric.Close() }
+
 // Run executes f once per PE, concurrently, and waits for all PEs to
 // finish. Each invocation receives a Comm bound to its rank. If any PE
 // returns an error or panics, Run returns an error describing the first
@@ -196,10 +102,11 @@ func (m *Machine) ResetStats() {
 // blocked in Recv, which Run detects only through the test timeout, so
 // algorithm code must not panic in normal operation).
 func (m *Machine) Run(f func(c *Comm) error) error {
-	errs := make([]error, m.p)
+	p := m.fabric.P()
+	errs := make([]error, p)
 	var wg sync.WaitGroup
-	wg.Add(m.p)
-	for rank := 0; rank < m.p; rank++ {
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
@@ -211,7 +118,7 @@ func (m *Machine) Run(f func(c *Comm) error) error {
 					// in tests. Mark and return.
 				}
 			}()
-			errs[rank] = f(&Comm{rank: rank, m: m, st: m.pes[rank]})
+			errs[rank] = f(&Comm{t: m.fabric.Endpoint(rank), st: m.pes[rank]})
 		}(rank)
 	}
 	wg.Wait()
@@ -223,20 +130,27 @@ func (m *Machine) Run(f func(c *Comm) error) error {
 	return nil
 }
 
-// Comm is one PE's endpoint of the machine: its rank, its mailboxes and its
+// Comm is one PE's endpoint of the machine: its transport endpoint and its
 // accounting state. A Comm is confined to the goroutine running the PE.
 type Comm struct {
-	rank  int
-	m     *Machine
+	t     transport.Transport
 	st    *stats.PE
 	phase stats.Phase
 }
 
+// NewComm wraps a single connected transport endpoint for SPMD runs where
+// each OS process is one PE (see transport/tcp.Connect and cmd/dss-worker).
+// The Comm starts with fresh accounting state; the caller keeps ownership
+// of the endpoint and is responsible for closing it.
+func NewComm(t transport.Transport) *Comm {
+	return &Comm{t: t, st: &stats.PE{Rank: t.Rank()}}
+}
+
 // Rank returns this PE's rank in [0, P).
-func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Rank() int { return c.t.Rank() }
 
 // P returns the number of PEs of the machine.
-func (c *Comm) P() int { return c.m.p }
+func (c *Comm) P() int { return c.t.P() }
 
 // SetPhase switches the accounting phase for subsequent operations and
 // returns the previous phase.
@@ -255,48 +169,42 @@ func (c *Comm) AddWork(units int64) {
 	c.st.Phases[c.phase].Work += units
 }
 
-// Send transmits data to dst with the given tag. The payload is copied, so
-// the caller retains ownership of data. Self-sends are delivered but do not
-// count as communication volume (no bytes leave the PE). The copy is drawn
-// from the machine's buffer pool; the receiver may hand it back with
-// Release once fully consumed.
+// StatsPE returns this PE's accounting state. While the PE is running it
+// must only be read from the PE's own goroutine.
+func (c *Comm) StatsPE() *stats.PE { return c.st }
+
+// Send transmits data to dst with the given tag. The payload is copied (or
+// fully written out) by the transport, so the caller retains ownership of
+// data. Self-sends are delivered but do not count as communication volume
+// (no bytes leave the PE). The volume and message count are attributed here,
+// at the comm boundary, identically for every backend.
 func (c *Comm) Send(dst, tag int, data []byte) {
-	if dst < 0 || dst >= c.m.p {
-		panic(fmt.Sprintf("comm: send to invalid rank %d (P=%d)", dst, c.m.p))
-	}
-	cp := c.m.pools[c.rank].get(len(data))
-	copy(cp, data)
-	if dst != c.rank {
+	if dst != c.t.Rank() {
 		ph := &c.st.Phases[c.phase]
 		ph.BytesSent += int64(len(data))
 		ph.Messages++
 	}
-	c.m.boxes[dst][c.rank].push(tag, cp)
+	c.t.Send(dst, tag, data)
 }
 
 // Recv blocks until a message with the given tag arrives from src and
 // returns its payload. The returned slice is owned by the caller.
 func (c *Comm) Recv(src, tag int) []byte {
-	if src < 0 || src >= c.m.p {
-		panic(fmt.Sprintf("comm: recv from invalid rank %d (P=%d)", src, c.m.p))
-	}
-	data := c.m.boxes[c.rank][src].pop(tag)
-	if src != c.rank {
+	data := c.t.Recv(src, tag)
+	if src != c.t.Rank() {
 		c.st.Phases[c.phase].BytesRecv += int64(len(data))
 	}
 	return data
 }
 
 // Release returns payload buffers (typically obtained from Recv or a
-// collective) to the machine's buffer pool for reuse by future Sends. Call
-// it only when the payload — including every sub-slice handed out by a
-// decoder — is no longer referenced; decoders that copy their results out
-// (the wire package's arena decoders do) leave the message releasable.
-// Releasing is optional and never required for correctness.
+// collective) to the transport's buffer pool for reuse. Call it only when
+// the payload — including every sub-slice handed out by a decoder — is no
+// longer referenced; decoders that copy their results out (the wire
+// package's arena decoders do) leave the message releasable. Releasing is
+// optional and never required for correctness.
 func (c *Comm) Release(bufs ...[]byte) {
-	for _, b := range bufs {
-		c.m.pools[c.rank].put(b)
-	}
+	c.t.Release(bufs...)
 }
 
 // SendRecv exchanges a message with a partner PE: it sends data to partner
@@ -307,12 +215,18 @@ func (c *Comm) SendRecv(partner, tag int, data []byte) []byte {
 	return c.Recv(partner, tag)
 }
 
-// World returns the group of all PEs, on which the collective operations
-// are defined.
-func (c *Comm) World() *Group {
-	ranks := make([]int, c.m.p)
+// WorldRanks returns the rank list [0, p) — the membership of the world
+// group.
+func WorldRanks(p int) []int {
+	ranks := make([]int, p)
 	for i := range ranks {
 		ranks[i] = i
 	}
-	return &Group{c: c, ranks: ranks, myIdx: c.rank, gid: 0}
+	return ranks
+}
+
+// World returns the group of all PEs, on which the collective operations
+// are defined.
+func (c *Comm) World() *Group {
+	return &Group{c: c, ranks: WorldRanks(c.t.P()), myIdx: c.t.Rank(), gid: 0}
 }

@@ -30,13 +30,13 @@ func NewGroup(c *Comm, ranks []int, gid int) *Group {
 	}
 	myIdx := -1
 	for i, r := range ranks {
-		if r == c.rank {
+		if r == c.Rank() {
 			myIdx = i
 			break
 		}
 	}
 	if myIdx < 0 {
-		panic(fmt.Sprintf("comm: PE %d not a member of group %v", c.rank, ranks))
+		panic(fmt.Sprintf("comm: PE %d not a member of group %v", c.Rank(), ranks))
 	}
 	return &Group{c: c, ranks: ranks, myIdx: myIdx, gid: gid}
 }

@@ -1,0 +1,52 @@
+package comm
+
+import (
+	"fmt"
+
+	"dss/internal/stats"
+	"dss/internal/wire"
+)
+
+// countersPerPE is the flattened size of one PE's phase counters.
+const countersPerPE = int(stats.NumPhases) * 4
+
+// AllgatherReport exchanges every PE's accounting snapshot and returns a
+// machine-wide report, identical on every member — the SPMD counterpart of
+// Machine.Report for runs where each process owns a single Comm (NewComm).
+// Every PE's counters are snapshotted before the exchange, so the gather's
+// own traffic is excluded from the report: the returned statistics match
+// what an in-process Machine.Report would have shown at the same point,
+// bit for bit. gid selects the tag namespace of the internal collective and
+// must be unused by concurrently live groups.
+func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
+	snap := *c.st // value copy: the collective below mutates the live counters
+	vals := make([]uint64, countersPerPE)
+	for ph := stats.Phase(0); ph < stats.NumPhases; ph++ {
+		pc := snap.Phases[ph]
+		vals[int(ph)*4+0] = uint64(pc.BytesSent)
+		vals[int(ph)*4+1] = uint64(pc.BytesRecv)
+		vals[int(ph)*4+2] = uint64(pc.Messages)
+		vals[int(ph)*4+3] = uint64(pc.Work)
+	}
+	g := NewGroup(c, WorldRanks(c.P()), gid)
+	parts := g.Allgatherv(wire.EncodeUint64s(vals))
+	pes := make([]*stats.PE, len(parts))
+	for i, part := range parts {
+		vs, err := wire.DecodeUint64s(part)
+		if err != nil || len(vs) != countersPerPE {
+			panic(fmt.Sprintf("comm: corrupt stats snapshot from PE %d: %v", i, err))
+		}
+		pe := &stats.PE{Rank: i}
+		for ph := stats.Phase(0); ph < stats.NumPhases; ph++ {
+			pe.Phases[ph] = stats.PhaseCounters{
+				BytesSent: int64(vs[int(ph)*4+0]),
+				BytesRecv: int64(vs[int(ph)*4+1]),
+				Messages:  int64(vs[int(ph)*4+2]),
+				Work:      int64(vs[int(ph)*4+3]),
+			}
+		}
+		pes[i] = pe
+	}
+	c.Release(parts...)
+	return stats.NewReport(pes, model)
+}

@@ -1,0 +1,15 @@
+package local_test
+
+import (
+	"testing"
+
+	"dss/internal/transport"
+	"dss/internal/transport/conformance"
+	"dss/internal/transport/local"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, func(tb testing.TB, p int) transport.Fabric {
+		return local.New(p)
+	})
+}

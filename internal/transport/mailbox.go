@@ -1,0 +1,70 @@
+package transport
+
+import "sync"
+
+// envelope is one in-flight message.
+type envelope struct {
+	tag  int
+	data []byte
+}
+
+// Mailbox queues messages from one fixed sender to one fixed receiver.
+// Senders never block (the queue is unbounded); receivers block until a
+// message with a matching tag arrives. Both backends build their delivery
+// on Mailboxes: the local backend pushes directly from Send, the TCP
+// backend pushes from the per-connection reader goroutine.
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []envelope
+	closed bool
+}
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Push appends a message. Pushing to a closed mailbox drops the message.
+func (m *Mailbox) Push(tag int, data []byte) {
+	m.mu.Lock()
+	if !m.closed {
+		m.q = append(m.q, envelope{tag: tag, data: data})
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Pop removes and returns the earliest message with the given tag, blocking
+// until one is available. It returns ok=false if the mailbox is closed and
+// no matching message is queued (pending messages remain receivable after
+// Close).
+func (m *Mailbox) Pop(tag int) (data []byte, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i := range m.q {
+			if m.q[i].tag == tag {
+				data = m.q[i].data
+				m.q = append(m.q[:i], m.q[i+1:]...)
+				return data, true
+			}
+		}
+		if m.closed {
+			return nil, false
+		}
+		m.cond.Wait()
+	}
+}
+
+// Close marks the mailbox closed and wakes all blocked receivers. Already
+// queued messages stay receivable; blocked Pops with no matching message
+// return ok=false.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}

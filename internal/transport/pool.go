@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pool recycles message payload buffers in power-of-two size classes. The
+// local backend draws Send's mandatory payload copy from here; the TCP
+// backend draws receive buffers for incoming frames. Receivers that have
+// fully consumed a payload hand it back through Transport.Release, making a
+// steady-state exchange allocation-free. Returning buffers is optional: an
+// unreleased buffer is simply collected by the GC.
+//
+// The free lists are plain mutex-guarded stacks rather than sync.Pool:
+// putting a []byte into a sync.Pool boxes the slice header on every call,
+// which would re-introduce exactly the per-message allocation the pool is
+// meant to remove. Each endpoint keeps its own Pool, and in the local
+// backend each PE goroutine only ever touches its own, so the mutex is
+// essentially uncontended (the TCP backend shares an endpoint's pool
+// between its reader goroutines and the PE goroutine, where the lock does
+// real work). Buffers migrate freely: a buffer allocated by one pool may be
+// released into another.
+type Pool struct {
+	mu      sync.Mutex
+	classes [numBufClasses][][]byte
+}
+
+// numBufClasses covers pooled payloads up to 128 MiB; larger ones fall
+// back to plain allocation. maxPerClass bounds the memory parked per size
+// class.
+const (
+	numBufClasses = 28
+	maxPerClass   = 256
+)
+
+// Get returns a buffer of length n with capacity of the containing size
+// class. Contents are unspecified; callers overwrite the full length.
+func (p *Pool) Get(n int) []byte {
+	if n == 0 {
+		return []byte{}
+	}
+	c := bits.Len(uint(n - 1)) // smallest c with n ≤ 1<<c
+	if c >= numBufClasses {
+		return make([]byte, n)
+	}
+	p.mu.Lock()
+	if l := len(p.classes[c]); l > 0 {
+		b := p.classes[c][l-1]
+		p.classes[c] = p.classes[c][:l-1]
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	return make([]byte, n, 1<<c)
+}
+
+// Put returns a buffer to the pool, classed by its capacity so that a
+// future Get never receives a buffer that is too small.
+func (p *Pool) Put(b []byte) {
+	n := cap(b)
+	if n == 0 {
+		return
+	}
+	c := bits.Len(uint(n)) - 1 // largest c with 1<<c ≤ cap
+	if c >= numBufClasses {
+		return
+	}
+	p.mu.Lock()
+	if len(p.classes[c]) < maxPerClass {
+		p.classes[c] = append(p.classes[c], b[:0])
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,478 @@
+// Package tcp implements the multi-process transport backend: PEs exchange
+// length-prefixed framed messages over persistent pairwise TCP connections,
+// so p workers on one or many hosts execute a genuinely distributed sort.
+//
+// Topology and rendezvous. Every PE knows the full peer table (rank →
+// host:port, identical on all PEs) and binds a listener on its own entry.
+// Exactly one connection exists per unordered PE pair: rank i dials every
+// rank j < i (retrying until the peer's listener is up, bounded by the
+// rendezvous timeout) and accepts from every rank j > i. A 13-byte
+// handshake in each direction (magic, protocol version, rank, fabric size)
+// maps connections to ranks and rejects strangers.
+//
+// Wire format. One frame per message: an 8-byte little-endian tag, a 4-byte
+// little-endian payload length, then the payload. The connection is the
+// (src, dst) pair, so ranks never travel with data frames.
+//
+// Delivery. A reader goroutine per connection drains frames into per-source
+// mailboxes (shared with the local backend), which yields the substrate
+// contract: sends never block indefinitely (the remote reader always
+// drains, queues are unbounded), per-pair same-tag messages are
+// non-overtaking, and receives are tag-selective. Self-sends short-circuit
+// through an in-memory mailbox without touching a socket — consistent with
+// the accounting rule that no bytes leave the PE.
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dss/internal/transport"
+)
+
+const (
+	handshakeMagic   = 0x31535344 // "DSS1", little-endian
+	protocolVersion  = 1
+	handshakeLen     = 13      // magic u32 | version u8 | rank u32 | p u32
+	headerLen        = 12      // tag u64 | payload length u32
+	maxPayload       = 1<<31 - 1
+	dialRetryEvery   = 25 * time.Millisecond
+	defaultRendezvous = 30 * time.Second
+)
+
+// Config tunes connection establishment.
+type Config struct {
+	// RendezvousTimeout bounds how long Connect waits for all peers to
+	// appear (workers of an SPMD job may start seconds apart). Zero means
+	// 30 s.
+	RendezvousTimeout time.Duration
+}
+
+// Endpoint is one PE's endpoint of a TCP fabric. It implements
+// transport.Transport. Send/Recv are confined to the PE's goroutine like
+// every transport; the internal reader goroutines are managed by the
+// endpoint itself.
+type Endpoint struct {
+	rank  int
+	p     int
+	conns []*peerConn          // conns[r], nil at own rank
+	boxes []*transport.Mailbox // boxes[src]
+	pool  transport.Pool
+
+	readers   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// peerConn is one persistent pairwise connection with its framed writer.
+type peerConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+func newPeerConn(c net.Conn) *peerConn {
+	return &peerConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
+}
+
+// Connect joins the fabric described by peers as the given rank: it binds a
+// listener on peers[rank], establishes the pairwise mesh, and returns when
+// every connection is up. peers must be identical (including order) on
+// every rank; its length is the fabric size. This is the SPMD entry point —
+// one call per OS process.
+func Connect(rank int, peers []string) (*Endpoint, error) {
+	return ConnectConfig(rank, peers, Config{})
+}
+
+// ConnectConfig is Connect with explicit tuning.
+func ConnectConfig(rank int, peers []string, cfg Config) (*Endpoint, error) {
+	if len(peers) == 0 {
+		return nil, errors.New("transport/tcp: empty peer table")
+	}
+	if rank < 0 || rank >= len(peers) {
+		return nil, fmt.Errorf("transport/tcp: rank %d out of range (P=%d)", rank, len(peers))
+	}
+	ln, err := net.Listen("tcp", peers[rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport/tcp: rank %d: bind %s: %w", rank, peers[rank], err)
+	}
+	return connect(ln, rank, peers, cfg)
+}
+
+// connect establishes the mesh over an already-bound listener.
+func connect(ln net.Listener, rank int, peers []string, cfg Config) (*Endpoint, error) {
+	p := len(peers)
+	timeout := cfg.RendezvousTimeout
+	if timeout == 0 {
+		timeout = defaultRendezvous
+	}
+	deadline := time.Now().Add(timeout)
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	e := &Endpoint{
+		rank:  rank,
+		p:     p,
+		conns: make([]*peerConn, p),
+		boxes: make([]*transport.Mailbox, p),
+	}
+	for i := range e.boxes {
+		e.boxes[i] = transport.NewMailbox()
+	}
+
+	var acceptErr error
+	accepted := make(chan struct{})     // closed when the accept side is done
+	acceptFailed := make(chan struct{}) // closed only on accept failure; aborts dial retries
+	go func() {
+		defer close(accepted)
+		acceptErr = e.acceptPeers(ln, deadline)
+		if acceptErr != nil {
+			close(acceptFailed)
+		}
+	}()
+	dialErr := e.dialPeers(peers, deadline, acceptFailed)
+	if dialErr != nil {
+		ln.Close() // abort a blocked Accept
+	}
+	<-accepted
+	ln.Close()
+	if dialErr != nil || acceptErr != nil {
+		e.Close()
+		// Surface the root cause: whichever side failed first made the
+		// other side fail by aborting it.
+		if dialErr != nil && !errors.Is(dialErr, errRendezvousAborted) {
+			return nil, dialErr
+		}
+		if acceptErr != nil {
+			return nil, acceptErr
+		}
+		return nil, dialErr
+	}
+	e.startReaders()
+	return e, nil
+}
+
+// acceptPeers accepts and identifies one connection from every higher rank.
+// Connections that fail the handshake (strangers, stale probes) are dropped
+// without consuming a slot.
+func (e *Endpoint) acceptPeers(ln net.Listener, deadline time.Time) error {
+	for remaining := e.p - 1 - e.rank; remaining > 0; {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport/tcp: rank %d: accept: %w", e.rank, err)
+		}
+		r, err := e.handshakeAccept(conn, deadline)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		if r <= e.rank || r >= e.p || e.conns[r] != nil {
+			conn.Close()
+			return fmt.Errorf("transport/tcp: rank %d: unexpected peer rank %d in handshake", e.rank, r)
+		}
+		e.conns[r] = newPeerConn(conn)
+		remaining--
+	}
+	return nil
+}
+
+// handshakeAccept performs the acceptor side of the handshake. Our hello
+// goes out before the dialer's is validated: a misconfigured peer (wrong
+// fabric size, wrong protocol) then sees the mismatch in OUR hello and
+// fails fast instead of redialing a silently-dropping acceptor until its
+// rendezvous deadline.
+func (e *Endpoint) handshakeAccept(conn net.Conn, deadline time.Time) (int, error) {
+	conn.SetDeadline(deadline)
+	if err := writeHello(conn, e.rank, e.p); err != nil {
+		return 0, err
+	}
+	r, err := readHello(conn, e.p)
+	if err != nil {
+		return 0, err
+	}
+	conn.SetDeadline(time.Time{})
+	return r, nil
+}
+
+// dialPeers connects to every lower rank, retrying until the peer's
+// listener is reachable, the rendezvous deadline expires, or the accept
+// side fails (abort closes).
+func (e *Endpoint) dialPeers(peers []string, deadline time.Time, abort <-chan struct{}) error {
+	for r := 0; r < e.rank; r++ {
+		conn, err := e.dialPeer(r, peers[r], deadline, abort)
+		if err != nil {
+			return err
+		}
+		e.conns[r] = newPeerConn(conn)
+	}
+	return nil
+}
+
+func (e *Endpoint) dialPeer(r int, addr string, deadline time.Time, abort <-chan struct{}) (net.Conn, error) {
+	var lastErr error
+	for time.Now().Before(deadline) {
+		d := net.Dialer{Deadline: deadline}
+		conn, err := d.Dial("tcp", addr)
+		if err == nil {
+			conn.SetDeadline(deadline)
+			err = writeHello(conn, e.rank, e.p)
+			var peerRank int
+			if err == nil {
+				peerRank, err = readHello(conn, e.p)
+			}
+			if err == nil {
+				if peerRank != r {
+					conn.Close()
+					return nil, fmt.Errorf("transport/tcp: rank %d: peer at %s identifies as rank %d, want %d",
+						e.rank, addr, peerRank, r)
+				}
+				conn.SetDeadline(time.Time{})
+				return conn, nil
+			}
+			conn.Close()
+			// Redialing cannot cure a protocol or peer-table mismatch.
+			if errors.Is(err, errFatalHandshake) {
+				return nil, fmt.Errorf("transport/tcp: rank %d: handshake with rank %d at %s: %w",
+					e.rank, r, addr, err)
+			}
+		}
+		lastErr = err
+		select {
+		case <-abort:
+			return nil, fmt.Errorf("transport/tcp: rank %d: %w", e.rank, errRendezvousAborted)
+		case <-time.After(dialRetryEvery):
+		}
+	}
+	return nil, fmt.Errorf("transport/tcp: rank %d: rendezvous with rank %d at %s timed out: %w",
+		e.rank, r, addr, lastErr)
+}
+
+func writeHello(c net.Conn, rank, p int) error {
+	var b [handshakeLen]byte
+	binary.LittleEndian.PutUint32(b[0:4], handshakeMagic)
+	b[4] = protocolVersion
+	binary.LittleEndian.PutUint32(b[5:9], uint32(rank))
+	binary.LittleEndian.PutUint32(b[9:13], uint32(p))
+	_, err := c.Write(b[:])
+	return err
+}
+
+// errRendezvousAborted marks a dial loop stopped because the accept side
+// failed first; the accept error is the root cause then.
+var errRendezvousAborted = errors.New("rendezvous aborted")
+
+// errFatalHandshake marks handshake failures that redialing cannot cure
+// (protocol or configuration mismatches, as opposed to a peer that is not
+// up yet); the dial retry loop fails fast on them.
+var errFatalHandshake = errors.New("fatal handshake mismatch")
+
+func readHello(c net.Conn, wantP int) (int, error) {
+	var b [handshakeLen]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != handshakeMagic {
+		return 0, fmt.Errorf("%w: bad magic", errFatalHandshake)
+	}
+	if b[4] != protocolVersion {
+		return 0, fmt.Errorf("%w: protocol version %d, want %d", errFatalHandshake, b[4], protocolVersion)
+	}
+	if p := int(binary.LittleEndian.Uint32(b[9:13])); p != wantP {
+		return 0, fmt.Errorf("%w: peer believes P=%d, want %d", errFatalHandshake, p, wantP)
+	}
+	return int(binary.LittleEndian.Uint32(b[5:9])), nil
+}
+
+// startReaders spawns one frame-draining goroutine per peer connection.
+func (e *Endpoint) startReaders() {
+	for r, pc := range e.conns {
+		if pc == nil {
+			continue
+		}
+		e.readers.Add(1)
+		go e.readLoop(r, pc)
+	}
+}
+
+// readLoop drains frames from one peer into its mailbox until the
+// connection dies, then closes the mailbox so blocked receivers fail loudly
+// instead of hanging.
+func (e *Endpoint) readLoop(src int, pc *peerConn) {
+	defer e.readers.Done()
+	defer e.boxes[src].Close()
+	br := bufio.NewReaderSize(pc.c, 64<<10)
+	var hdr [headerLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		tag := int(int64(binary.LittleEndian.Uint64(hdr[0:8])))
+		n := int(binary.LittleEndian.Uint32(hdr[8:12]))
+		buf := e.pool.Get(n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		e.boxes[src].Push(tag, buf)
+	}
+}
+
+// Rank returns this endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// P returns the fabric size.
+func (e *Endpoint) P() int { return e.p }
+
+// Send writes one frame to dst's connection (or short-circuits self-sends
+// through the local mailbox). The payload is fully written before Send
+// returns, so the caller retains ownership of data.
+func (e *Endpoint) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= e.p {
+		panic(fmt.Sprintf("transport/tcp: send to invalid rank %d (P=%d)", dst, e.p))
+	}
+	if len(data) > maxPayload {
+		panic(fmt.Sprintf("transport/tcp: payload of %d bytes exceeds frame limit", len(data)))
+	}
+	if dst == e.rank {
+		cp := e.pool.Get(len(data))
+		copy(cp, data)
+		e.boxes[dst].Push(tag, cp)
+		return
+	}
+	pc := e.conns[dst]
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(int64(tag)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	pc.mu.Lock()
+	_, err := pc.w.Write(hdr[:])
+	if err == nil {
+		_, err = pc.w.Write(data)
+	}
+	if err == nil {
+		err = pc.w.Flush()
+	}
+	pc.mu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("transport/tcp: rank %d: send to %d failed: %v", e.rank, dst, err))
+	}
+}
+
+// Recv blocks until a message with the given tag arrives from src.
+func (e *Endpoint) Recv(src, tag int) []byte {
+	if src < 0 || src >= e.p {
+		panic(fmt.Sprintf("transport/tcp: recv from invalid rank %d (P=%d)", src, e.p))
+	}
+	data, ok := e.boxes[src].Pop(tag)
+	if !ok {
+		panic(fmt.Sprintf("transport/tcp: rank %d: connection to rank %d lost while receiving tag %d",
+			e.rank, src, tag))
+	}
+	return data
+}
+
+// Release returns payload buffers to the endpoint's pool; future incoming
+// frames reuse them.
+func (e *Endpoint) Release(bufs ...[]byte) {
+	for _, b := range bufs {
+		e.pool.Put(b)
+	}
+}
+
+// Close tears down every connection, waits for the readers to drain, and
+// closes the mailboxes. Idempotent.
+func (e *Endpoint) Close() error {
+	e.closeOnce.Do(func() {
+		for _, pc := range e.conns {
+			if pc != nil {
+				pc.c.Close()
+			}
+		}
+		e.readers.Wait()
+		for _, b := range e.boxes {
+			b.Close()
+		}
+	})
+	return nil
+}
+
+// fabric holds all endpoints of an in-process TCP mesh.
+type fabric struct {
+	eps []*Endpoint
+}
+
+// NewLoopback builds a p-endpoint fabric on automatically chosen loopback
+// ports — real sockets, one process. This is how Sort runs over TCP and how
+// the conformance suite exercises the backend.
+func NewLoopback(p int) (transport.Fabric, error) {
+	if p <= 0 {
+		return nil, errors.New("transport/tcp: fabric needs at least one PE")
+	}
+	addrs := make([]string, p)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	return NewFabric(addrs)
+}
+
+// NewFabric binds one endpoint per address in the calling process and
+// connects them into a full mesh. Addresses should carry an explicit host;
+// port 0 picks an ephemeral port.
+func NewFabric(addrs []string) (transport.Fabric, error) {
+	p := len(addrs)
+	if p == 0 {
+		return nil, errors.New("transport/tcp: empty address list")
+	}
+	lns := make([]net.Listener, p)
+	bound := make([]string, p)
+	for i, a := range addrs {
+		ln, err := net.Listen("tcp", a)
+		if err != nil {
+			for _, prev := range lns[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("transport/tcp: bind %s: %w", a, err)
+		}
+		lns[i] = ln
+		bound[i] = ln.Addr().String()
+	}
+	eps := make([]*Endpoint, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer wg.Done()
+			eps[r], errs[r] = connect(lns[r], r, bound, Config{})
+		}(r)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		for _, ep := range eps {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+		return nil, err
+	}
+	return &fabric{eps: eps}, nil
+}
+
+// P returns the number of endpoints.
+func (f *fabric) P() int { return len(f.eps) }
+
+// Endpoint returns the endpoint of the given rank.
+func (f *fabric) Endpoint(rank int) transport.Transport { return f.eps[rank] }
+
+// Close tears down every endpoint.
+func (f *fabric) Close() error {
+	var err error
+	for _, ep := range f.eps {
+		err = errors.Join(err, ep.Close())
+	}
+	return err
+}

@@ -1,0 +1,165 @@
+package tcp_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dss/internal/transport"
+	"dss/internal/transport/conformance"
+	"dss/internal/transport/tcp"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, func(tb testing.TB, p int) transport.Fabric {
+		f, err := tcp.NewLoopback(p)
+		if err != nil {
+			tb.Fatalf("loopback fabric: %v", err)
+		}
+		return f
+	})
+}
+
+// freeAddrs reserves p distinct loopback ports the way an SPMD launcher
+// would pick them: bind, record, release.
+func freeAddrs(t *testing.T, p int) []string {
+	t.Helper()
+	addrs := make([]string, p)
+	lns := make([]net.Listener, p)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestStaggeredRendezvous starts the workers of a 4-PE fabric with
+// staggered delays, as the processes of a real SPMD launch would, and
+// checks that the dial-retry rendezvous still assembles the full mesh and
+// carries traffic.
+func TestStaggeredRendezvous(t *testing.T) {
+	const p = 4
+	addrs := freeAddrs(t, p)
+	eps := make([]*tcp.Endpoint, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(rank) * 150 * time.Millisecond)
+			eps[rank], errs[rank] = tcp.ConnectConfig(rank, addrs, tcp.Config{
+				RendezvousTimeout: 10 * time.Second,
+			})
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	defer func() {
+		for _, e := range eps {
+			e.Close()
+		}
+	}()
+	// One all-to-all round over the assembled mesh.
+	wg.Add(p)
+	bodyErrs := make([]error, p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			e := eps[rank]
+			for dst := 0; dst < p; dst++ {
+				e.Send(dst, 1, []byte(fmt.Sprintf("%d->%d", rank, dst)))
+			}
+			for src := 0; src < p; src++ {
+				want := fmt.Sprintf("%d->%d", src, rank)
+				if got := e.Recv(src, 1); string(got) != want {
+					bodyErrs[rank] = fmt.Errorf("from %d: got %q, want %q", src, got, want)
+					return
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range bodyErrs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestConnectRejectsBadRank(t *testing.T) {
+	if _, err := tcp.Connect(3, []string{"127.0.0.1:0", "127.0.0.1:0"}); err == nil {
+		t.Fatal("rank out of range accepted")
+	}
+	if _, err := tcp.Connect(0, nil); err == nil {
+		t.Fatal("empty peer table accepted")
+	}
+}
+
+// TestRendezvousTimesOut checks that a worker whose peers never appear
+// fails with a descriptive error instead of hanging forever.
+func TestRendezvousTimesOut(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	start := time.Now()
+	_, err := tcp.ConnectConfig(1, addrs, tcp.Config{RendezvousTimeout: 300 * time.Millisecond})
+	if err == nil {
+		t.Fatal("rendezvous with absent peer succeeded")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("error does not mention the timeout: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("timeout took %v", time.Since(start))
+	}
+}
+
+// TestStrangerConnectionIgnored checks that a connection that never
+// completes the handshake does not consume a peer slot or corrupt the
+// rendezvous.
+func TestStrangerConnectionIgnored(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var wg sync.WaitGroup
+	eps := make([]*tcp.Endpoint, 2)
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		eps[0], errs[0] = tcp.ConnectConfig(0, addrs, tcp.Config{RendezvousTimeout: 10 * time.Second})
+	}()
+	// A stranger pokes rank 0's listener with garbage before rank 1 dials.
+	if conn, err := net.Dial("tcp", addrs[0]); err == nil {
+		conn.Write([]byte("GET / HTTP/1.0\r\n\r\n"))
+		conn.Close()
+	}
+	go func() {
+		defer wg.Done()
+		time.Sleep(100 * time.Millisecond)
+		eps[1], errs[1] = tcp.ConnectConfig(1, addrs, tcp.Config{RendezvousTimeout: 10 * time.Second})
+	}()
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	defer eps[0].Close()
+	defer eps[1].Close()
+	eps[0].Send(1, 9, []byte("ok"))
+	if got := eps[1].Recv(0, 9); string(got) != "ok" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,105 @@
+package stringsort
+
+import (
+	"fmt"
+
+	"dss/internal/comm"
+	"dss/internal/core"
+	"dss/internal/stats"
+	"dss/internal/transport"
+	"dss/internal/verify"
+)
+
+// Reserved tag namespaces of the run's coordination collectives. The
+// algorithms use GroupID 1 (and neighbors); reconstruction/validation use
+// 900–902 as in Sort; the stats exchange stays clear of both.
+const (
+	statsGID  = 980
+	extentGID = 981
+)
+
+// PERun is one PE's share of a distributed sorting run executed with RunPE.
+type PERun struct {
+	// Output is this PE's fragment of the globally sorted sequence.
+	Output PEOutput
+	// Stats are the machine-wide run statistics, identical on every PE
+	// (the per-PE counters are exchanged after sorting; that exchange is
+	// excluded from the counters, so the numbers are bit-identical to an
+	// in-process Sort of the same input).
+	Stats Stats
+	// PrefixOnly reports that Output.Strings holds distinguishing prefixes
+	// (PDMS without Reconstruct).
+	PrefixOnly bool
+}
+
+// RunPE executes one PE's share of a distributed sort in SPMD style: every
+// rank of the fabric calls RunPE with the same Config and its local input
+// fragment, typically from its own OS process over a TCP endpoint
+// (transport/tcp.Connect; see cmd/dss-worker). It is the multi-process
+// counterpart of Sort — Sort(inputs, cfg) is equivalent to RunPE on every
+// rank of an in-process fabric with local = inputs[rank].
+//
+// The caller keeps ownership of the endpoint: RunPE does not close it, so
+// several runs can reuse one fabric. Config.P must be zero or equal the
+// fabric size; Config.Transport and Config.TCPPeers are ignored (the
+// endpoint already embodies that choice).
+func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
+	if cfg.P != 0 && cfg.P != t.P() {
+		return nil, fmt.Errorf("stringsort: Config.P=%d but fabric has %d PEs", cfg.P, t.P())
+	}
+	c := comm.NewComm(t)
+	res := dispatch(c, local, cfg)
+
+	// Snapshot and exchange the sorting statistics before any
+	// post-processing communication (validation, reconstruction), exactly
+	// like Sort. AllgatherReport snapshots each PE's counters on entry, so
+	// its own traffic is excluded.
+	model := stats.DefaultModel()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	rep := comm.AllgatherReport(c, model, statsGID)
+	g := comm.NewGroup(c, comm.WorldRanks(t.P()), extentGID)
+	_, n := g.ExscanUint64(uint64(len(local)))
+	st := Stats{
+		ModelTime:      rep.ModelTime(),
+		BytesSent:      rep.TotalBytesSent(),
+		BytesPerString: rep.BytesPerString(int64(n)),
+		MaxBytesSent:   rep.MaxBytesSent(),
+		MaxBytesRecv:   rep.MaxBytesRecv(),
+		MeanBytesRecv:  rep.MeanBytesRecv(),
+		Messages:       rep.TotalMessages(),
+		Work:           rep.TotalWork(),
+		Imbalance:      rep.Imbalance(),
+		PhaseTable:     rep.Table(),
+	}
+
+	prefixOnly := res.PrefixOnly
+	if prefixOnly && cfg.Reconstruct {
+		res.Strings = core.Reconstruct(c, res, local, 900)
+		res.LCPs = nil // prefix LCPs do not apply to full strings
+		res.PrefixOnly = false
+		prefixOnly = false
+	}
+
+	if cfg.Validate {
+		if err := verify.SortednessLCP(c, res.Strings, res.LCPs, 901); err != nil {
+			return nil, err
+		}
+		if !prefixOnly {
+			if err := verify.Multiset(c, local, res.Strings, 902); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := &PERun{Stats: st, PrefixOnly: prefixOnly}
+	out.Output = PEOutput{Strings: res.Strings, LCPs: res.LCPs}
+	if res.Origins != nil {
+		out.Output.Origins = make([]Origin, len(res.Origins))
+		for i, o := range res.Origins {
+			out.Output.Origins[i] = Origin{PE: int(o.PE), Index: int(o.Index)}
+		}
+	}
+	return out, nil
+}

@@ -26,6 +26,7 @@ import (
 	"dss/internal/dupdetect"
 	"dss/internal/partition"
 	"dss/internal/stats"
+	"dss/internal/transport/tcp"
 	"dss/internal/verify"
 )
 
@@ -84,6 +85,71 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("stringsort: unknown algorithm %q (have %v)", name, Algorithms)
 }
 
+// AlgorithmNames returns the canonical algorithm names in evaluation order,
+// comma-separated — the single source for CLI usage strings.
+func AlgorithmNames() string {
+	names := make([]string, len(Algorithms))
+	for i, a := range Algorithms {
+		names[i] = a.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParsePeers splits a comma-separated host:port peer table, trimming
+// whitespace around each entry. Empty input yields nil.
+func ParsePeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// Transport selects the message substrate a Sort run executes on. The
+// algorithms and the reported statistics are substrate-independent: byte
+// accounting happens at the comm layer, so model time and bytes/string are
+// bit-identical across transports.
+type Transport int
+
+const (
+	// TransportLocal runs every PE as a goroutine with in-process
+	// mailboxes (the default; zero setup cost).
+	TransportLocal Transport = iota
+	// TransportTCP runs every PE over real TCP sockets — loopback ports
+	// chosen automatically, or the addresses in Config.TCPPeers. The PEs
+	// still live in this process; use RunPE and cmd/dss-worker to spread
+	// them over OS processes and hosts.
+	TransportTCP
+)
+
+// Transports lists the selectable substrates.
+var Transports = []Transport{TransportLocal, TransportTCP}
+
+// String returns the canonical transport name.
+func (t Transport) String() string {
+	switch t {
+	case TransportLocal:
+		return "local"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// ParseTransport resolves a (case-insensitive) transport name.
+func ParseTransport(name string) (Transport, error) {
+	for _, t := range Transports {
+		if strings.EqualFold(t.String(), name) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("stringsort: unknown transport %q (have %v)", name, Transports)
+}
+
 // Origin identifies the provenance of a PDMS output prefix.
 type Origin struct {
 	PE    int
@@ -120,6 +186,12 @@ type Config struct {
 	// Reconstruct materializes full strings for PDMS results (extra
 	// communication excluded from the reported statistics).
 	Reconstruct bool
+	// Transport selects the message substrate (default TransportLocal).
+	Transport Transport
+	// TCPPeers optionally pins the TCP transport's bind addresses, one
+	// host:port per PE (len must equal P). Empty means automatic loopback
+	// ports. Ignored by the local transport.
+	TCPPeers []string
 }
 
 // PEOutput is one PE's fragment of the sorted result.
@@ -169,7 +241,11 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("stringsort: %d input fragments for %d PEs", len(inputs), p)
 	}
 	// Oversampling 0 lets the algorithms pick v = Θ(p) (Theorems 2–4).
-	machine := comm.New(p)
+	machine, err := newMachine(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer machine.Close()
 	if cfg.Model != nil {
 		machine.SetModel(*cfg.Model)
 	}
@@ -181,7 +257,7 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 		return nil
 	}
 	results := make([]core.Result, p)
-	err := machine.Run(func(c *comm.Comm) error {
+	err = machine.Run(func(c *comm.Comm) error {
 		results[c.Rank()] = dispatch(c, local(c.Rank()), cfg)
 		return nil
 	})
@@ -259,6 +335,32 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 		out.PEs[pe] = peOut
 	}
 	return out, nil
+}
+
+// newMachine builds the comm machine for the configured transport.
+func newMachine(p int, cfg Config) (*comm.Machine, error) {
+	switch cfg.Transport {
+	case TransportLocal:
+		return comm.New(p), nil
+	case TransportTCP:
+		if len(cfg.TCPPeers) > 0 {
+			if len(cfg.TCPPeers) != p {
+				return nil, fmt.Errorf("stringsort: %d TCP peer addresses for %d PEs", len(cfg.TCPPeers), p)
+			}
+			f, err := tcp.NewFabric(cfg.TCPPeers)
+			if err != nil {
+				return nil, err
+			}
+			return comm.NewOver(f), nil
+		}
+		f, err := tcp.NewLoopback(p)
+		if err != nil {
+			return nil, err
+		}
+		return comm.NewOver(f), nil
+	default:
+		return nil, fmt.Errorf("stringsort: unknown transport %v", cfg.Transport)
+	}
 }
 
 // dispatch runs the configured algorithm on one PE.

@@ -1,0 +1,155 @@
+package stringsort
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dss/internal/transport/tcp"
+)
+
+// sortOutputs flattens a Result's fragments for comparison.
+func sortOutputs(res *Result) [][]byte {
+	var all [][]byte
+	for _, pe := range res.PEs {
+		all = append(all, pe.Strings...)
+	}
+	return all
+}
+
+func equalOutputs(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTCPBackendMatchesLocal runs the same sort over the in-process mailbox
+// substrate and over real loopback TCP sockets and requires byte-identical
+// output and bit-identical statistics: byte accounting lives at the comm
+// layer, so model-ms and bytes/str must not depend on the wire.
+func TestTCPBackendMatchesLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	inputs := genInputs(rng, 4, 120)
+	for _, algo := range []Algorithm{MS, HQuick, PDMSGolomb} {
+		base := Config{Algorithm: algo, Seed: 11, Validate: true, Reconstruct: true}
+
+		cfgLocal := base
+		cfgLocal.Transport = TransportLocal
+		resLocal, err := Sort(inputs, cfgLocal)
+		if err != nil {
+			t.Fatalf("%v local: %v", algo, err)
+		}
+
+		cfgTCP := base
+		cfgTCP.Transport = TransportTCP
+		resTCP, err := Sort(inputs, cfgTCP)
+		if err != nil {
+			t.Fatalf("%v tcp: %v", algo, err)
+		}
+
+		if !equalOutputs(sortOutputs(resLocal), sortOutputs(resTCP)) {
+			t.Fatalf("%v: TCP output differs from local output", algo)
+		}
+		if resLocal.Stats != resTCP.Stats {
+			t.Fatalf("%v: statistics differ across transports:\nlocal: %+v\ntcp:   %+v",
+				algo, resLocal.Stats, resTCP.Stats)
+		}
+	}
+}
+
+// TestRunPEMatchesSort runs the SPMD entry point — one RunPE call per rank
+// over a real TCP mesh, the exact shape cmd/dss-worker executes — and
+// requires fragment-identical output and bit-identical statistics compared
+// to the in-process Sort of the same input and seed.
+func TestRunPEMatchesSort(t *testing.T) {
+	const p = 4
+	rng := rand.New(rand.NewSource(405))
+	inputs := genInputs(rng, p, 150)
+	cfg := Config{Algorithm: PDMS, Seed: 23, Validate: true, Reconstruct: true}
+
+	want, err := Sort(inputs, cfg)
+	if err != nil {
+		t.Fatalf("in-process sort: %v", err)
+	}
+
+	f, err := tcp.NewLoopback(p)
+	if err != nil {
+		t.Fatalf("loopback fabric: %v", err)
+	}
+	defer f.Close()
+
+	runs := make([]*PERun, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			runs[rank], errs[rank] = RunPE(f.Endpoint(rank), inputs[rank], cfg)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+
+	for rank := 0; rank < p; rank++ {
+		if !equalOutputs(want.PEs[rank].Strings, runs[rank].Output.Strings) {
+			t.Fatalf("rank %d: SPMD fragment differs from Sort fragment", rank)
+		}
+		if runs[rank].Stats != want.Stats {
+			t.Fatalf("rank %d: SPMD statistics differ from Sort:\nsort:  %+v\nspmd:  %+v",
+				rank, want.Stats, runs[rank].Stats)
+		}
+	}
+}
+
+// TestRunPERejectsMismatchedP pins the Config.P validation.
+func TestRunPERejectsMismatchedP(t *testing.T) {
+	f, err := tcp.NewLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	for rank := 0; rank < 2; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			_, errs[rank] = RunPE(f.Endpoint(rank), nil, Config{P: 5})
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d: mismatched P accepted", rank)
+		}
+	}
+}
+
+// TestParseTransport pins the canonical names.
+func TestParseTransport(t *testing.T) {
+	for _, tr := range Transports {
+		got, err := ParseTransport(tr.String())
+		if err != nil || got != tr {
+			t.Fatalf("round-trip %v: got %v, err %v", tr, got, err)
+		}
+	}
+	if _, err := ParseTransport("carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	if fmt.Sprint(TransportLocal, TransportTCP) != "local tcp" {
+		t.Fatalf("canonical names changed: %v %v", TransportLocal, TransportTCP)
+	}
+}
