@@ -20,7 +20,7 @@ const benchSeed = 1
 
 func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 	b.Helper()
-	var modelTime, bytesPerString float64
+	var modelTime, bytesPerString, overlapMS float64
 	for i := 0; i < b.N; i++ {
 		res, err := stringsort.Sort(inputs, cfg)
 		if err != nil {
@@ -28,9 +28,14 @@ func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 		}
 		modelTime = res.Stats.ModelTime
 		bytesPerString = res.Stats.BytesPerString
+		overlapMS = res.Stats.OverlapMS
 	}
 	b.ReportMetric(modelTime*1e3, "model-ms")
 	b.ReportMetric(bytesPerString, "bytes/str")
+	// Measured, not modeled: wall-clock comm time the split-phase Step-3
+	// seam hid under Step-4 decoding (varies run to run, unlike the two
+	// deterministic metrics above).
+	b.ReportMetric(overlapMS, "overlap-ms")
 }
 
 func dnInputs(p, nPerPE, length int, ratio float64) [][][]byte {

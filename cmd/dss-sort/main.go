@@ -12,6 +12,14 @@
 // sockets instead of in-process mailboxes (output and statistics are
 // identical — accounting happens above the transport); -peers pins the
 // bind addresses and sets p. For one PE per OS process, see dss-worker.
+//
+// The Step-3 string exchange is split-phase by default: each PE decodes
+// incoming runs as they arrive, overlapping communication with compute
+// (reported as the overlap statistic). -exchange blocking restores the
+// bulk-synchronous seam; the deterministic statistics are identical in
+// both modes. All tuning flags (-algo, -seed, -oversampling, -charsample,
+// -eps, -tiebreak, -randomsample, -exchange, -validate) are shared
+// verbatim with dss-worker.
 package main
 
 import (
@@ -25,19 +33,17 @@ import (
 )
 
 func main() {
-	algoName := flag.String("algo", "MS", "algorithm: "+stringsort.AlgorithmNames())
+	tuning := stringsort.RegisterTuningFlags(flag.CommandLine)
 	p := flag.Int("p", 4, "number of simulated PEs")
 	inPath := flag.String("in", "", "input file (default stdin)")
 	outPath := flag.String("out", "", "output file (default stdout)")
 	printLCP := flag.Bool("lcp", false, "prefix each output line with its LCP value")
-	validate := flag.Bool("validate", false, "run the distributed verifier after sorting")
-	seed := flag.Uint64("seed", 1, "random seed")
 	transportName := flag.String("transport", "local", "message substrate: local (in-process mailboxes) or tcp (real sockets)")
 	peersFlag := flag.String("peers", "", "comma-separated host:port bind addresses for the tcp transport, one per PE (sets p; default automatic loopback ports)")
 	flag.Parse()
 
-	algo, err := stringsort.ParseAlgorithm(*algoName)
-	if err != nil {
+	cfg := stringsort.Config{Reconstruct: true}
+	if err := tuning.Apply(&cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -92,14 +98,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := stringsort.Sort(inputs, stringsort.Config{
-		Algorithm:   algo,
-		Seed:        *seed,
-		Validate:    *validate,
-		Reconstruct: true,
-		Transport:   tr,
-		TCPPeers:    peers,
-	})
+	cfg.Transport = tr
+	cfg.TCPPeers = peers
+	res, err := stringsort.Sort(inputs, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -117,12 +118,5 @@ func main() {
 		}
 	}
 
-	fmt.Fprintf(os.Stderr, "algorithm:        %v on %d PEs\n", algo, *p)
-	fmt.Fprintf(os.Stderr, "strings:          %d\n", n)
-	fmt.Fprintf(os.Stderr, "model time:       %.4f s\n", res.Stats.ModelTime)
-	fmt.Fprintf(os.Stderr, "bytes sent:       %d (%.1f per string)\n",
-		res.Stats.BytesSent, res.Stats.BytesPerString)
-	fmt.Fprintf(os.Stderr, "messages:         %d\n", res.Stats.Messages)
-	fmt.Fprintf(os.Stderr, "work imbalance:   %.3f\n", res.Stats.Imbalance)
-	fmt.Fprintf(os.Stderr, "%s", res.Stats.PhaseTable)
+	res.Stats.WriteSummary(os.Stderr, cfg.Algorithm, fmt.Sprintf("%d PEs", *p), n)
 }

@@ -20,6 +20,15 @@
 // (round-robin by line number, the same distribution dss-sort uses); on a
 // cluster, ship the input file to every host or place it on a shared
 // filesystem.
+//
+// Flag parity with dss-sort: every tuning flag of dss-sort (-algo, -seed,
+// -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
+// -validate) is accepted here with identical semantics — both binaries
+// register the same stringsort.RegisterTuningFlags set. The intentional
+// gaps are the machine-assembly flags: dss-worker has no -p (the PE count
+// is the length of the -peers table) and no -transport (one worker per OS
+// process is by definition the TCP substrate); dss-sort in turn has no
+// -rank, -rendezvous or -stats.
 package main
 
 import (
@@ -35,28 +44,26 @@ import (
 )
 
 func main() {
+	tuning := stringsort.RegisterTuningFlags(flag.CommandLine)
 	rank := flag.Int("rank", -1, "this worker's rank in [0, p)")
-	peersFlag := flag.String("peers", "", "comma-separated host:port peer table, one entry per rank (identical on all workers)")
-	algoName := flag.String("algo", "MS", "algorithm: "+stringsort.AlgorithmNames())
+	peersFlag := flag.String("peers", "", "comma-separated host:port peer table, one entry per rank (identical on all workers; its length is the PE count)")
 	inPath := flag.String("in", "", "input file, newline-separated strings (read fully by every worker; required)")
 	outPath := flag.String("out", "", "output file for this rank's sorted fragment (default stdout)")
 	printLCP := flag.Bool("lcp", false, "prefix each output line with its LCP value")
-	validate := flag.Bool("validate", false, "run the distributed verifier after sorting")
-	seed := flag.Uint64("seed", 1, "random seed (identical on all workers)")
 	rendezvous := flag.Duration("rendezvous", 30*time.Second, "how long to wait for peers to appear")
 	statsAll := flag.Bool("stats", false, "print run statistics on every rank (default: rank 0 only)")
 	flag.Parse()
 
+	cfg := stringsort.Config{Reconstruct: true}
+	if err := tuning.Apply(&cfg); err != nil {
+		fatal(err)
+	}
 	peers := stringsort.ParsePeers(*peersFlag)
 	if len(peers) == 0 {
 		fatal(fmt.Errorf("missing -peers"))
 	}
 	if *rank < 0 || *rank >= len(peers) {
 		fatal(fmt.Errorf("-rank %d out of range for %d peers", *rank, len(peers)))
-	}
-	algo, err := stringsort.ParseAlgorithm(*algoName)
-	if err != nil {
-		fatal(err)
 	}
 	if *inPath == "" {
 		fatal(fmt.Errorf("missing -in (every worker reads the shared input file)"))
@@ -73,12 +80,7 @@ func main() {
 	}
 	defer ep.Close()
 
-	res, err := stringsort.RunPE(ep, local, stringsort.Config{
-		Algorithm:   algo,
-		Seed:        *seed,
-		Validate:    *validate,
-		Reconstruct: true,
-	})
+	res, err := stringsort.RunPE(ep, local, cfg)
 	if err != nil {
 		fatal(fmt.Errorf("rank %d: %w", *rank, err))
 	}
@@ -114,14 +116,8 @@ func main() {
 	}
 
 	if *rank == 0 || *statsAll {
-		fmt.Fprintf(os.Stderr, "algorithm:        %v on %d worker processes\n", algo, len(peers))
-		fmt.Fprintf(os.Stderr, "strings:          %d\n", total)
-		fmt.Fprintf(os.Stderr, "model time:       %.4f s\n", res.Stats.ModelTime)
-		fmt.Fprintf(os.Stderr, "bytes sent:       %d (%.1f per string)\n",
-			res.Stats.BytesSent, res.Stats.BytesPerString)
-		fmt.Fprintf(os.Stderr, "messages:         %d\n", res.Stats.Messages)
-		fmt.Fprintf(os.Stderr, "work imbalance:   %.3f\n", res.Stats.Imbalance)
-		fmt.Fprintf(os.Stderr, "%s", res.Stats.PhaseTable)
+		res.Stats.WriteSummary(os.Stderr, cfg.Algorithm,
+			fmt.Sprintf("%d worker processes", len(peers)), total)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"dss/internal/stats"
 	"dss/internal/transport"
@@ -118,7 +119,9 @@ func (m *Machine) Run(f func(c *Comm) error) error {
 					// in tests. Mark and return.
 				}
 			}()
-			errs[rank] = f(&Comm{t: m.fabric.Endpoint(rank), st: m.pes[rank]})
+			c := &Comm{t: m.fabric.Endpoint(rank), st: m.pes[rank], phaseStart: time.Now()}
+			errs[rank] = f(c)
+			c.flushWall()
 		}(rank)
 	}
 	wg.Wait()
@@ -133,9 +136,10 @@ func (m *Machine) Run(f func(c *Comm) error) error {
 // Comm is one PE's endpoint of the machine: its transport endpoint and its
 // accounting state. A Comm is confined to the goroutine running the PE.
 type Comm struct {
-	t     transport.Transport
-	st    *stats.PE
-	phase stats.Phase
+	t          transport.Transport
+	st         *stats.PE
+	phase      stats.Phase
+	phaseStart time.Time // start of the current phase's wall span
 }
 
 // NewComm wraps a single connected transport endpoint for SPMD runs where
@@ -143,7 +147,7 @@ type Comm struct {
 // The Comm starts with fresh accounting state; the caller keeps ownership
 // of the endpoint and is responsible for closing it.
 func NewComm(t transport.Transport) *Comm {
-	return &Comm{t: t, st: &stats.PE{Rank: t.Rank()}}
+	return &Comm{t: t, st: &stats.PE{Rank: t.Rank()}, phaseStart: time.Now()}
 }
 
 // Rank returns this PE's rank in [0, P).
@@ -153,11 +157,24 @@ func (c *Comm) Rank() int { return c.t.Rank() }
 func (c *Comm) P() int { return c.t.P() }
 
 // SetPhase switches the accounting phase for subsequent operations and
-// returns the previous phase.
+// returns the previous phase. Besides steering the deterministic counters
+// it closes the old phase's wall-clock span (stats.PE.Wall), which feeds
+// the overlap model's per-phase timeline.
 func (c *Comm) SetPhase(ph stats.Phase) stats.Phase {
+	c.flushWall()
 	old := c.phase
 	c.phase = ph
 	return old
+}
+
+// flushWall folds the elapsed wall time of the current phase span into the
+// PE's Wall counters and restarts the span.
+func (c *Comm) flushWall() {
+	now := time.Now()
+	if !c.phaseStart.IsZero() {
+		c.st.Wall[c.phase] += now.Sub(c.phaseStart).Nanoseconds()
+	}
+	c.phaseStart = now
 }
 
 // Phase returns the current accounting phase.
@@ -179,22 +196,35 @@ func (c *Comm) StatsPE() *stats.PE { return c.st }
 // (no bytes leave the PE). The volume and message count are attributed here,
 // at the comm boundary, identically for every backend.
 func (c *Comm) Send(dst, tag int, data []byte) {
-	if dst != c.t.Rank() {
-		ph := &c.st.Phases[c.phase]
-		ph.BytesSent += int64(len(data))
-		ph.Messages++
-	}
-	c.t.Send(dst, tag, data)
+	c.sendAs(c.phase, dst, tag, data)
 }
 
 // Recv blocks until a message with the given tag arrives from src and
 // returns its payload. The returned slice is owned by the caller.
 func (c *Comm) Recv(src, tag int) []byte {
 	data := c.t.Recv(src, tag)
-	if src != c.t.Rank() {
-		c.st.Phases[c.phase].BytesRecv += int64(len(data))
-	}
+	c.accountRecvAs(c.phase, src, len(data))
 	return data
+}
+
+// sendAs / accountRecvAs are the single home of the deterministic volume
+// accounting, parameterized by the phase to bill: the blocking operations
+// bill the current phase, split-phase Pendings bill the phase captured at
+// post time. Keeping one copy is what guarantees both forms stay
+// bit-identical.
+func (c *Comm) sendAs(ph stats.Phase, dst, tag int, data []byte) {
+	if dst != c.t.Rank() {
+		pc := &c.st.Phases[ph]
+		pc.BytesSent += int64(len(data))
+		pc.Messages++
+	}
+	c.t.Send(dst, tag, data)
+}
+
+func (c *Comm) accountRecvAs(ph stats.Phase, src, n int) {
+	if src != c.t.Rank() {
+		c.st.Phases[ph].BytesRecv += int64(n)
+	}
 }
 
 // Release returns payload buffers (typically obtained from Recv or a

@@ -65,16 +65,12 @@ func (g *Group) send(idx, tag int, data []byte) { g.c.Send(g.ranks[idx], tag, da
 func (g *Group) recv(idx, tag int) []byte       { return g.c.Recv(g.ranks[idx], tag) }
 
 // Barrier blocks until every group member has entered it. It uses the
-// dissemination algorithm: ⌈log n⌉ rounds of pairwise signalling.
+// dissemination algorithm: ⌈log n⌉ rounds of pairwise signalling. The
+// blocking form is the split-phase IBarrier completed immediately.
 func (g *Group) Barrier() {
-	tag := g.nextTag()
-	n := len(g.ranks)
-	for k := 1; k < n; k <<= 1 {
-		dst := (g.myIdx + k) % n
-		src := (g.myIdx - k + n) % n
-		g.send(dst, tag, nil)
-		g.recv(src, tag)
-	}
+	pd := g.IBarrier()
+	pd.noOverlap = true
+	pd.Wait()
 }
 
 // Bcast distributes root's data to all members along a binomial tree
@@ -177,52 +173,23 @@ func (g *Group) Gatherv(root int, data []byte) [][]byte {
 }
 
 // Allgatherv collects every member's payload on every member: a binomial
-// gather to member 0 followed by a broadcast of the packed bundle.
+// gather to member 0 followed by a broadcast of the packed bundle. The
+// blocking form is the split-phase IAllgatherv completed immediately.
 func (g *Group) Allgatherv(data []byte) [][]byte {
-	parts := g.Gatherv(0, data)
-	var packed []byte
-	if g.myIdx == 0 {
-		m := make(map[int][]byte, len(parts))
-		for i, p := range parts {
-			m[i] = p
-		}
-		packed = packGather(m)
-	}
-	packed = g.Bcast(0, packed)
-	m := make(map[int][]byte)
-	if err := unpackGather(packed, m); err != nil {
-		panic(fmt.Sprintf("comm: corrupt allgather bundle: %v", err))
-	}
-	g.c.Release(packed) // unpackGather copied the payloads out
-	out := make([][]byte, len(g.ranks))
-	for idx, payload := range m {
-		out[idx] = payload
-	}
-	return out
+	pd := g.IAllgatherv(data)
+	pd.noOverlap = true
+	return pd.Wait()
 }
 
 // Alltoallv performs personalized all-to-all communication: parts[i] is the
 // payload for group member i, and the result's i-th entry is the payload
 // received from member i. Direct delivery: n-1 pairwise rounds, which is
-// the low-volume (cost O(αp + βh)) variant discussed in Section II.
+// the low-volume (cost O(αp + βh)) variant discussed in Section II. The
+// blocking form is the split-phase IAlltoallv completed immediately.
 func (g *Group) Alltoallv(parts [][]byte) [][]byte {
-	n := len(g.ranks)
-	if len(parts) != n {
-		panic(fmt.Sprintf("comm: alltoallv needs %d parts, got %d", n, len(parts)))
-	}
-	tag := g.nextTag()
-	out := make([][]byte, n)
-	// Self part: logical copy, no communication.
-	self := make([]byte, len(parts[g.myIdx]))
-	copy(self, parts[g.myIdx])
-	out[g.myIdx] = self
-	for i := 1; i < n; i++ {
-		dst := (g.myIdx + i) % n
-		src := (g.myIdx - i + n) % n
-		g.send(dst, tag, parts[dst])
-		out[src] = g.recv(src, tag)
-	}
-	return out
+	pd := g.IAlltoallv(parts)
+	pd.noOverlap = true
+	return pd.Wait()
 }
 
 // AlltoallvHypercube performs personalized all-to-all communication by

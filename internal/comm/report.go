@@ -7,8 +7,10 @@ import (
 	"dss/internal/wire"
 )
 
-// countersPerPE is the flattened size of one PE's phase counters.
-const countersPerPE = int(stats.NumPhases) * 4
+// countersPerPE is the flattened size of one PE's phase counters: the four
+// deterministic counters plus the wall span and overlap measurements of the
+// overlap model, per phase.
+const countersPerPE = int(stats.NumPhases) * 6
 
 // AllgatherReport exchanges every PE's accounting snapshot and returns a
 // machine-wide report, identical on every member — the SPMD counterpart of
@@ -19,14 +21,17 @@ const countersPerPE = int(stats.NumPhases) * 4
 // bit for bit. gid selects the tag namespace of the internal collective and
 // must be unused by concurrently live groups.
 func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
+	c.flushWall() // close the running wall span so it is part of the snapshot
 	snap := *c.st // value copy: the collective below mutates the live counters
 	vals := make([]uint64, countersPerPE)
 	for ph := stats.Phase(0); ph < stats.NumPhases; ph++ {
 		pc := snap.Phases[ph]
-		vals[int(ph)*4+0] = uint64(pc.BytesSent)
-		vals[int(ph)*4+1] = uint64(pc.BytesRecv)
-		vals[int(ph)*4+2] = uint64(pc.Messages)
-		vals[int(ph)*4+3] = uint64(pc.Work)
+		vals[int(ph)*6+0] = uint64(pc.BytesSent)
+		vals[int(ph)*6+1] = uint64(pc.BytesRecv)
+		vals[int(ph)*6+2] = uint64(pc.Messages)
+		vals[int(ph)*6+3] = uint64(pc.Work)
+		vals[int(ph)*6+4] = uint64(snap.Wall[ph])
+		vals[int(ph)*6+5] = uint64(snap.Overlap[ph])
 	}
 	g := NewGroup(c, WorldRanks(c.P()), gid)
 	parts := g.Allgatherv(wire.EncodeUint64s(vals))
@@ -39,11 +44,13 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 		pe := &stats.PE{Rank: i}
 		for ph := stats.Phase(0); ph < stats.NumPhases; ph++ {
 			pe.Phases[ph] = stats.PhaseCounters{
-				BytesSent: int64(vs[int(ph)*4+0]),
-				BytesRecv: int64(vs[int(ph)*4+1]),
-				Messages:  int64(vs[int(ph)*4+2]),
-				Work:      int64(vs[int(ph)*4+3]),
+				BytesSent: int64(vs[int(ph)*6+0]),
+				BytesRecv: int64(vs[int(ph)*6+1]),
+				Messages:  int64(vs[int(ph)*6+2]),
+				Work:      int64(vs[int(ph)*6+3]),
 			}
+			pe.Wall[ph] = int64(vs[int(ph)*6+4])
+			pe.Overlap[ph] = int64(vs[int(ph)*6+5])
 		}
 		pes[i] = pe
 	}

@@ -17,7 +17,21 @@
 // its local string array and receives its fragment of the globally sorted
 // output (PE i's strings ≤ PE i+1's strings, each fragment locally sorted).
 // Input slices are not modified; the spine is copied internally.
+//
+// The Step-3→Step-4 seam of every algorithm is split-phase by default:
+// all outgoing buckets are posted first (comm.IAlltoallv), and each
+// incoming run is decoded the moment its frames land, so the exchange
+// overlaps the decode work instead of ending at a global barrier. The
+// deterministic statistics are unaffected — received bytes are billed to
+// the phase the exchange was posted in — and the pre-split bulk-synchronous
+// seam remains selectable through the BlockingExchange options for
+// differential testing.
 package core
+
+import (
+	"dss/internal/comm"
+	"dss/internal/stats"
+)
 
 // Origin identifies where an output string came from: the PE it was
 // submitted on and its index in that PE's input array. PDMS reports origins
@@ -70,4 +84,41 @@ func cloneSpine(ss [][]byte) [][]byte {
 	out := make([][]byte, len(ss))
 	copy(out, ss)
 	return out
+}
+
+// exchangeRuns executes the Step-3 all-to-all seam shared by all four
+// algorithms: it hands every received part to decode exactly once and
+// releases the underlying buffer afterwards (all decoders copy their
+// results out), then leaves the accounting phase at next.
+//
+// Split-phase mode (blocking=false, the default): every outgoing part is
+// posted first, the accounting phase switches to next, and each incoming
+// run is decoded as soon as its frames land — in ARRIVAL order — so the
+// stragglers' communication is hidden under the decode work of the runs
+// that already arrived. Received bytes stay billed to the posting phase
+// (the exchange), so model time and bytes/string are bit-identical to the
+// blocking seam; only wall-clock improves, measured as stats.PE.Overlap.
+//
+// Blocking mode reproduces the pre-split seam: a bulk-synchronous
+// Alltoallv, then decode in rank order, then the phase switch.
+func exchangeRuns(c *comm.Comm, g *comm.Group, parts [][]byte, blocking bool, next stats.Phase, decode func(src int, msg []byte)) {
+	if blocking {
+		recvd := g.Alltoallv(parts)
+		for src, msg := range recvd {
+			decode(src, msg)
+			c.Release(msg)
+		}
+		c.SetPhase(next)
+		return
+	}
+	pd := g.IAlltoallv(parts)
+	c.SetPhase(next)
+	for {
+		src, msg, ok := pd.PollAny()
+		if !ok {
+			return
+		}
+		decode(src, msg)
+		c.Release(msg)
+	}
 }

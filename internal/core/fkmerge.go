@@ -13,6 +13,10 @@ import (
 type FKOptions struct {
 	// GroupID is the base communicator namespace.
 	GroupID int
+	// BlockingExchange selects the pre-split bulk-synchronous Step-3 seam
+	// instead of the default split-phase decode-on-arrival one (see
+	// MSOptions.BlockingExchange).
+	BlockingExchange bool
 }
 
 // FKMerge is the distributed multiway string mergesort of Fischer and
@@ -63,19 +67,18 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 		arena = wire.AppendStrings(arena, local[off[dst]:off[dst+1]])
 		parts[dst] = arena[start:len(arena):len(arena)]
 	}
-	recvd := g.Alltoallv(parts)
+	// Post the exchange and decode each run on arrival (DecodeStrings
+	// copies into its own backing).
 	runs := make([]merge.Sequence, p)
-	for src := 0; src < p; src++ {
-		rs, err := wire.DecodeStrings(recvd[src])
+	exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
+		rs, err := wire.DecodeStrings(msg)
 		if err != nil {
 			panic("fkmerge: corrupt run: " + err.Error())
 		}
 		runs[src] = merge.Sequence{Strings: rs}
-		c.Release(recvd[src]) // DecodeStrings copied into its own backing
-	}
+	})
 
 	// Step 4: ordinary loser tree merge.
-	c.SetPhase(stats.PhaseMerge)
 	out, mwork := merge.Merge(runs)
 	c.AddWork(mwork)
 	c.SetPhase(stats.PhaseOther)

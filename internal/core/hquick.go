@@ -26,6 +26,10 @@ type HQOptions struct {
 	// PivotSamples is the number of random local candidates contributed to
 	// each pivot reduction (default 3).
 	PivotSamples int
+	// BlockingExchange selects the pre-split bulk-synchronous seam for the
+	// initial random-placement all-to-all instead of the default
+	// split-phase decode-on-arrival one (see MSOptions.BlockingExchange).
+	BlockingExchange bool
 }
 
 // HQuick sorts the distributed string array with hypercube quicksort
@@ -77,8 +81,24 @@ func HQuick(c *comm.Comm, ss [][]byte, opt HQOptions) Result {
 		for dst := 0; dst < p; dst++ {
 			parts[dst] = encodeTagged(strings, uids, perDest[dst])
 		}
-		recvd := world.Alltoallv(parts)
-		strings, uids = decodeTaggedAll(c, recvd)
+		// Post the exchange and decode each part as it arrives, into
+		// per-source slots: the concatenation below stays in rank order, so
+		// the string sequence feeding the pivot recursion is independent of
+		// arrival timing.
+		perS := make([][][]byte, p)
+		perU := make([][]uint64, p)
+		exchangeRuns(c, world, parts, opt.BlockingExchange, c.Phase(), func(src int, msg []byte) {
+			s, u, err := decodeTagged(msg)
+			if err != nil {
+				panic("hquick: corrupt redistribution payload")
+			}
+			perS[src], perU[src] = s, u
+		})
+		strings, uids = nil, nil
+		for src := 0; src < p; src++ {
+			strings = append(strings, perS[src]...)
+			uids = append(uids, perU[src]...)
+		}
 	}
 
 	if c.Rank() < q {
@@ -256,21 +276,6 @@ func decodeTagged(msg []byte) ([][]byte, []uint64, error) {
 		us = append(us, u)
 	}
 	return ss, us, nil
-}
-
-func decodeTaggedAll(c *comm.Comm, parts [][]byte) ([][]byte, []uint64) {
-	var ss [][]byte
-	var us []uint64
-	for _, part := range parts {
-		s, u, err := decodeTagged(part)
-		if err != nil {
-			panic("hquick: corrupt redistribution payload")
-		}
-		ss = append(ss, s...)
-		us = append(us, u...)
-		c.Release(part)
-	}
-	return ss, us
 }
 
 func filterTagged(strings [][]byte, uids []uint64, idxs []int) ([][]byte, []uint64) {

@@ -41,6 +41,11 @@ type MSOptions struct {
 	GroupID int
 	// Seed drives hQuick's randomness during sample sorting.
 	Seed uint64
+	// BlockingExchange selects the pre-split bulk-synchronous Step-3 seam
+	// (Alltoallv, then decode) instead of the default split-phase one that
+	// decodes each run on arrival. Deterministic statistics are identical
+	// either way; blocking mode exists for differential testing.
+	BlockingExchange bool
 }
 
 // DefaultMS returns the full Algorithm MS configuration: LCP compression,
@@ -110,8 +115,11 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 	}
 	if !opt.CentralSampleSort {
 		seed := opt.Seed
+		blocking := opt.BlockingExchange
 		popt.DistSort = func(cc *comm.Comm, samples [][]byte, gid int) [][]byte {
-			return HQuick(cc, samples, HQOptions{GroupID: gid, Seed: seed}).Strings
+			return HQuick(cc, samples, HQOptions{
+				GroupID: gid, Seed: seed, BlockingExchange: blocking,
+			}).Strings
 		}
 	}
 	splitters := partition.SelectSplitters(c, local, popt)
@@ -166,35 +174,34 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 		}
 		parts[dst] = arena[start:len(arena):len(arena)]
 	}
-	recvd := g.Alltoallv(parts)
+	// Post the exchange, then decode each incoming run as soon as it lands
+	// (the arena decoders copy everything out of the message): the phase
+	// switches to merging while the stragglers are still in flight.
 	runs := make([]merge.Sequence, p)
-	for src := 0; src < p; src++ {
+	exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
 		switch {
 		case opt.LCPCompression:
-			rs, rl, err := wire.DecodeStringsLCP(recvd[src])
+			rs, rl, err := wire.DecodeStringsLCP(msg)
 			if err != nil {
 				panic("mergesort: corrupt compressed run: " + err.Error())
 			}
 			runs[src] = merge.Sequence{Strings: rs, LCPs: rl}
 		case opt.LCPMerge:
-			rs, rl, err := decodeStringsWithLCPs(recvd[src])
+			rs, rl, err := decodeStringsWithLCPs(msg)
 			if err != nil {
 				panic("mergesort: corrupt run: " + err.Error())
 			}
 			runs[src] = merge.Sequence{Strings: rs, LCPs: rl}
 		default:
-			rs, err := wire.DecodeStrings(recvd[src])
+			rs, err := wire.DecodeStrings(msg)
 			if err != nil {
 				panic("mergesort: corrupt run: " + err.Error())
 			}
 			runs[src] = merge.Sequence{Strings: rs}
 		}
-		// The arena decoders copied everything out of the message.
-		c.Release(recvd[src])
-	}
+	})
 
-	// Step 4: multiway merge.
-	c.SetPhase(stats.PhaseMerge)
+	// Step 4: multiway merge of the fully decoded runs.
 	var out merge.Sequence
 	var mwork int64
 	if opt.LCPMerge {

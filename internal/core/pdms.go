@@ -44,6 +44,10 @@ type PDMSOptions struct {
 	GroupID int
 	// Seed drives fingerprinting and hQuick randomness.
 	Seed uint64
+	// BlockingExchange selects the pre-split bulk-synchronous Step-3 seam
+	// instead of the default split-phase decode-on-arrival one (see
+	// MSOptions.BlockingExchange).
+	BlockingExchange bool
 }
 
 // DefaultPDMS returns the evaluation configuration of algorithm PDMS:
@@ -155,7 +159,9 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 		Transform: func(i int) []byte { return prefixes[i] },
 		GroupID:   opt.GroupID + 5,
 		DistSort: func(cc *comm.Comm, samples [][]byte, gid int) [][]byte {
-			return HQuick(cc, samples, HQOptions{GroupID: gid, Seed: seed}).Strings
+			return HQuick(cc, samples, HQOptions{
+				GroupID: gid, Seed: seed, BlockingExchange: opt.BlockingExchange,
+			}).Strings
 		},
 	}
 	splitters := partition.SelectSplitters(c, local, popt)
@@ -200,10 +206,11 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 		}
 		parts[dst] = arena[start:len(arena):len(arena)]
 	}
-	recvd := g.Alltoallv(parts)
+	// Post the exchange and decode each prefix run on arrival while the
+	// rest is still in flight (the decoders copy everything out).
 	runs := make([]merge.Sequence, p)
-	for src := 0; src < p; src++ {
-		r := wire.NewReader(recvd[src])
+	exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
+		r := wire.NewReader(msg)
 		blob, err1 := r.BytesPrefixed()
 		oblob, err2 := r.BytesPrefixed()
 		if err1 != nil || err2 != nil {
@@ -218,11 +225,9 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 			panic("pdms: corrupt origin run")
 		}
 		runs[src] = merge.Sequence{Strings: rs, LCPs: rl, Sats: ro}
-		c.Release(recvd[src]) // decoders copied everything out
-	}
+	})
 
-	// Step 4: LCP-aware multiway merge of the prefix runs.
-	c.SetPhase(stats.PhaseMerge)
+	// Step 4: LCP-aware multiway merge of the fully decoded prefix runs.
 	out, mwork := merge.MergeLCP(runs)
 	c.AddWork(mwork)
 	origins := make([]Origin, len(out.Sats))

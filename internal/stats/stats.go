@@ -72,9 +72,23 @@ type PhaseCounters struct {
 // PE holds the accounting state of a single processing element. A PE value
 // is owned by exactly one goroutine while an algorithm runs; it must only be
 // read by other goroutines after the machine has finished.
+//
+// Phases holds the deterministic counters the α-β model time and the
+// bytes-per-string figures are computed from; they are bit-identical across
+// transports and runs. Wall and Overlap are wall-clock measurements of the
+// split-phase overlap model: nondeterministic, never fed into ModelTime,
+// and excluded from cross-backend statistics comparisons.
 type PE struct {
 	Rank   int
 	Phases [NumPhases]PhaseCounters
+	// Wall[ph] is the wall-clock nanoseconds this PE spent with ph as its
+	// accounting phase (accumulated at every comm.SetPhase transition).
+	Wall [NumPhases]int64
+	// Overlap[ph] is the wall-clock nanoseconds of split-phase collective
+	// time hidden under compute: for every Pending posted in phase ph, the
+	// span from posting to the last drained payload minus the time the PE
+	// actually spent blocked waiting on it. Zero for blocking collectives.
+	Overlap [NumPhases]int64
 }
 
 // Add accumulates the counters of a phase.
@@ -254,6 +268,92 @@ func (r *Report) BytesPerString(n int64) float64 {
 		return 0
 	}
 	return float64(r.TotalBytesSent()) / float64(n)
+}
+
+// PhaseWallNS returns the bottleneck wall-clock span of a phase: the
+// maximum over PEs of the time spent with that accounting phase active.
+// Wall spans are measurements, not model values — they vary run to run.
+func (r *Report) PhaseWallNS(ph Phase) int64 {
+	var m int64
+	for _, pe := range r.PEs {
+		if pe.Wall[ph] > m {
+			m = pe.Wall[ph]
+		}
+	}
+	return m
+}
+
+// MaxWallNS returns the largest per-PE total wall span — roughly the
+// elapsed time of the run as seen by its slowest PE.
+func (r *Report) MaxWallNS() int64 {
+	var m int64
+	for _, pe := range r.PEs {
+		var w int64
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			w += pe.Wall[ph]
+		}
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// TotalOverlapNS returns the total communication time hidden under compute
+// by split-phase collectives, summed over all PEs and phases. This is the
+// machine-wide "overlap-ms" headline of the overlapped exchange/merge
+// pipeline: wall time the bulk-synchronous seam would have spent waiting.
+func (r *Report) TotalOverlapNS() int64 {
+	var o int64
+	for _, pe := range r.PEs {
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			o += pe.Overlap[ph]
+		}
+	}
+	return o
+}
+
+// MaxOverlapNS returns the bottleneck overlap: the maximum over PEs of
+// their total hidden communication time. Unlike TotalOverlapNS (a sum of
+// per-PE values), this is directly comparable to wall spans.
+func (r *Report) MaxOverlapNS() int64 {
+	var m int64
+	for _, pe := range r.PEs {
+		var o int64
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			o += pe.Overlap[ph]
+		}
+		if o > m {
+			m = o
+		}
+	}
+	return m
+}
+
+// WallTable formats the measured per-phase wall spans and overlap as an
+// aligned text table. Unlike Table, these columns are wall-clock
+// measurements and differ run to run; they are reported separately so the
+// deterministic table stays comparable across transports. The column
+// labels carry the aggregation: wall spans are bottleneck values (max over
+// PEs), overlap is summed PE-milliseconds — the two are deliberately not
+// comparable, which is why both say so.
+func (r *Report) WallTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %16s\n", "phase", "wall_ms (max)", "overlap_ms (sum)")
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		wall := r.PhaseWallNS(ph)
+		var overlap int64
+		for _, pe := range r.PEs {
+			overlap += pe.Overlap[ph]
+		}
+		if wall == 0 && overlap == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %14.3f %16.3f\n", ph, float64(wall)/1e6, float64(overlap)/1e6)
+	}
+	fmt.Fprintf(&b, "%-12s %14.3f %16.3f\n",
+		"total", float64(r.MaxWallNS())/1e6, float64(r.TotalOverlapNS())/1e6)
+	return b.String()
 }
 
 // Table formats a per-phase breakdown as an aligned text table.

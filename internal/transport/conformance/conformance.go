@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"dss/internal/transport"
 )
@@ -39,6 +40,8 @@ func Run(t *testing.T, newFabric Factory) {
 		{"LargePayload", 2, testLargePayload},
 		{"ReleaseRecycling", 2, testReleaseRecycling},
 		{"EagerSendsNoDeadlock", 4, testEagerSends},
+		{"RecvAnyDrainsAllSources", 5, testRecvAnyDrains},
+		{"RecvAnyTagSelective", 2, testRecvAnyTagSelective},
 		{"ConcurrentStress", 5, testConcurrentStress},
 	}
 	for _, tc := range cases {
@@ -259,6 +262,78 @@ func testEagerSends(t *testing.T, f transport.Fabric) {
 				return fmt.Errorf("payload from %d corrupted", src)
 			}
 			tr.Release(got)
+		}
+		return nil
+	})
+}
+
+// testRecvAnyDrains checks the any-source receive primitive the split-phase
+// collectives rely on: every other rank sends one message to rank 0 (with
+// deliberate per-sender delays so arrivals interleave), and rank 0 drains
+// them in arrival order with RecvAny, seeing each source exactly once.
+// Self-sends must be eligible sources too.
+func testRecvAnyDrains(t *testing.T, f transport.Fabric) {
+	p := f.P()
+	runPEs(t, f, func(tr transport.Transport) error {
+		if tr.Rank() != 0 {
+			// Staggered sends: later arrivals land while the receiver is
+			// already inside RecvAny, exercising the wait-notify path as
+			// well as the already-queued fast path.
+			time.Sleep(time.Duration(tr.Rank()) * 3 * time.Millisecond)
+			tr.Send(0, 9, []byte{byte(tr.Rank())})
+			return nil
+		}
+		tr.Send(0, 9, []byte{0}) // self-send is a valid RecvAny source
+		srcs := make([]int, p)
+		for i := range srcs {
+			srcs[i] = i
+		}
+		seen := make([]bool, p)
+		var prev time.Time
+		for i := 0; i < p; i++ {
+			src, data, arrived := tr.RecvAny(srcs, 9)
+			if len(data) != 1 || int(data[0]) != src {
+				return fmt.Errorf("RecvAny: payload %v from %d", data, src)
+			}
+			if seen[src] {
+				return fmt.Errorf("RecvAny returned source %d twice", src)
+			}
+			if arrived.IsZero() || arrived.After(time.Now()) {
+				return fmt.Errorf("RecvAny: implausible arrival stamp %v from %d", arrived, src)
+			}
+			// Arrival order: even when several payloads are already queued
+			// (the stagger above guarantees some queue up while earlier
+			// ones are processed), RecvAny must hand them out oldest
+			// first. The contract allows an inversion bounded by one scan
+			// width (a push racing the scan); the senders are staggered
+			// milliseconds apart, so a 1 ms tolerance separates that
+			// benign race from genuine misordering.
+			if arrived.Before(prev.Add(-time.Millisecond)) {
+				return fmt.Errorf("RecvAny out of arrival order: %v from %d after %v", arrived, src, prev)
+			}
+			prev = arrived
+			seen[src] = true
+			tr.Release(data)
+		}
+		return nil
+	})
+}
+
+// testRecvAnyTagSelective checks that RecvAny ignores pending messages with
+// other tags and coexists with targeted Recv on those tags.
+func testRecvAnyTagSelective(t *testing.T, f transport.Fabric) {
+	runPEs(t, f, func(tr transport.Transport) error {
+		if tr.Rank() == 0 {
+			tr.Send(1, 10, []byte("decoy"))
+			tr.Send(1, 11, []byte("wanted"))
+			return nil
+		}
+		src, data, _ := tr.RecvAny([]int{0}, 11)
+		if src != 0 || string(data) != "wanted" {
+			return fmt.Errorf("RecvAny tag 11: got %q from %d", data, src)
+		}
+		if got := tr.Recv(0, 10); string(got) != "decoy" {
+			return fmt.Errorf("tag 10 after RecvAny: got %q", got)
 		}
 		return nil
 	})

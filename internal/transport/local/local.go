@@ -9,6 +9,7 @@ package local
 
 import (
 	"fmt"
+	"time"
 
 	"dss/internal/transport"
 )
@@ -88,6 +89,27 @@ func (e *endpoint) Recv(src, tag int) []byte {
 		panic(fmt.Sprintf("transport/local: recv from %d on closed endpoint %d", src, e.rank))
 	}
 	return data
+}
+
+// RecvAny blocks until a message with the given tag is available from any
+// of the listed sources and returns it with its source rank and delivery
+// time.
+func (e *endpoint) RecvAny(srcs []int, tag int) (int, []byte, time.Time) {
+	if len(srcs) == 0 {
+		panic("transport/local: RecvAny needs at least one source")
+	}
+	boxes := make([]*transport.Mailbox, len(srcs))
+	for i, src := range srcs {
+		if src < 0 || src >= e.m.p {
+			panic(fmt.Sprintf("transport/local: recv from invalid rank %d (P=%d)", src, e.m.p))
+		}
+		boxes[i] = e.m.boxes[e.rank][src]
+	}
+	i, data, arrived, ok := transport.PopAny(boxes, tag)
+	if !ok {
+		panic(fmt.Sprintf("transport/local: recv from %d on closed endpoint %d", srcs[i], e.rank))
+	}
+	return srcs[i], data, arrived
 }
 
 // Release returns payload buffers to this PE's pool for reuse by future

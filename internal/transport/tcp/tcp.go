@@ -8,7 +8,9 @@
 // rank j < i (retrying until the peer's listener is up, bounded by the
 // rendezvous timeout) and accepts from every rank j > i. A 13-byte
 // handshake in each direction (magic, protocol version, rank, fabric size)
-// maps connections to ranks and rejects strangers.
+// maps connections to ranks and rejects strangers; accepted handshakes run
+// concurrently under the rendezvous deadline, so one stalled stranger
+// cannot delay the whole mesh.
 //
 // Wire format. One frame per message: an 8-byte little-endian tag, a 4-byte
 // little-endian payload length, then the payload. The connection is the
@@ -37,12 +39,12 @@ import (
 )
 
 const (
-	handshakeMagic   = 0x31535344 // "DSS1", little-endian
-	protocolVersion  = 1
-	handshakeLen     = 13      // magic u32 | version u8 | rank u32 | p u32
-	headerLen        = 12      // tag u64 | payload length u32
-	maxPayload       = 1<<31 - 1
-	dialRetryEvery   = 25 * time.Millisecond
+	handshakeMagic    = 0x31535344 // "DSS1", little-endian
+	protocolVersion   = 1
+	handshakeLen      = 13 // magic u32 | version u8 | rank u32 | p u32
+	headerLen         = 12 // tag u64 | payload length u32
+	maxPayload        = 1<<31 - 1
+	dialRetryEvery    = 25 * time.Millisecond
 	defaultRendezvous = 30 * time.Second
 )
 
@@ -161,23 +163,61 @@ func connect(ln net.Listener, rank int, peers []string, cfg Config) (*Endpoint, 
 // acceptPeers accepts and identifies one connection from every higher rank.
 // Connections that fail the handshake (strangers, stale probes) are dropped
 // without consuming a slot.
+//
+// Handshakes run concurrently, one goroutine per accepted connection, so a
+// stranger that connects and then stalls mid-handshake cannot delay the
+// whole rendezvous: the accept loop keeps accepting while the stalled
+// handshake waits out its deadline in the background. Identified peers are
+// funnelled back through a channel; only this function touches e.conns.
 func (e *Endpoint) acceptPeers(ln net.Listener, deadline time.Time) error {
-	for remaining := e.p - 1 - e.rank; remaining > 0; {
-		conn, err := ln.Accept()
-		if err != nil {
+	remaining := e.p - 1 - e.rank
+	if remaining == 0 {
+		return nil
+	}
+	type identified struct {
+		rank int
+		conn net.Conn
+	}
+	peers := make(chan identified)
+	acceptErr := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case acceptErr <- err:
+				case <-done:
+				}
+				return
+			}
+			go func(conn net.Conn) {
+				r, err := e.handshakeAccept(conn, deadline)
+				if err != nil {
+					conn.Close() // stranger or stale probe: drop silently
+					return
+				}
+				select {
+				case peers <- identified{rank: r, conn: conn}:
+				case <-done:
+					conn.Close() // rendezvous already over
+				}
+			}(conn)
+		}
+	}()
+	for remaining > 0 {
+		select {
+		case id := <-peers:
+			if id.rank <= e.rank || id.rank >= e.p || e.conns[id.rank] != nil {
+				id.conn.Close()
+				return fmt.Errorf("transport/tcp: rank %d: unexpected peer rank %d in handshake", e.rank, id.rank)
+			}
+			e.conns[id.rank] = newPeerConn(id.conn)
+			remaining--
+		case err := <-acceptErr:
 			return fmt.Errorf("transport/tcp: rank %d: accept: %w", e.rank, err)
 		}
-		r, err := e.handshakeAccept(conn, deadline)
-		if err != nil {
-			conn.Close()
-			continue
-		}
-		if r <= e.rank || r >= e.p || e.conns[r] != nil {
-			conn.Close()
-			return fmt.Errorf("transport/tcp: rank %d: unexpected peer rank %d in handshake", e.rank, r)
-		}
-		e.conns[r] = newPeerConn(conn)
-		remaining--
 	}
 	return nil
 }
@@ -373,6 +413,28 @@ func (e *Endpoint) Recv(src, tag int) []byte {
 			e.rank, src, tag))
 	}
 	return data
+}
+
+// RecvAny blocks until a message with the given tag is available from any
+// of the listed sources and returns it with its source rank and delivery
+// time.
+func (e *Endpoint) RecvAny(srcs []int, tag int) (int, []byte, time.Time) {
+	if len(srcs) == 0 {
+		panic("transport/tcp: RecvAny needs at least one source")
+	}
+	boxes := make([]*transport.Mailbox, len(srcs))
+	for i, src := range srcs {
+		if src < 0 || src >= e.p {
+			panic(fmt.Sprintf("transport/tcp: recv from invalid rank %d (P=%d)", src, e.p))
+		}
+		boxes[i] = e.boxes[src]
+	}
+	i, data, arrived, ok := transport.PopAny(boxes, tag)
+	if !ok {
+		panic(fmt.Sprintf("transport/tcp: rank %d: connection to rank %d lost while receiving tag %d",
+			e.rank, srcs[i], tag))
+	}
+	return srcs[i], data, arrived
 }
 
 // Release returns payload buffers to the endpoint's pool; future incoming

@@ -163,3 +163,57 @@ func TestStrangerConnectionIgnored(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+// TestStalledStrangerDoesNotDelayRendezvous pins the concurrent-handshake
+// guarantee: a stranger that connects to the acceptor and then goes silent
+// (never completing a handshake) must not stall the mesh until its deadline
+// expires — the real peer's handshake proceeds in parallel and the
+// rendezvous completes promptly.
+func TestStalledStrangerDoesNotDelayRendezvous(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var wg sync.WaitGroup
+	eps := make([]*tcp.Endpoint, 2)
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eps[0], errs[0] = tcp.ConnectConfig(0, addrs, tcp.Config{RendezvousTimeout: 30 * time.Second})
+	}()
+	// The stranger connects first and holds the connection open without
+	// ever writing a byte; the serial acceptor would sit in its handshake
+	// read until the 30 s deadline. Retry until rank 0's listener is bound.
+	var stranger net.Conn
+	var err error
+	for i := 0; i < 200; i++ {
+		if stranger, err = net.Dial("tcp", addrs[0]); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("stranger dial: %v", err)
+	}
+	defer stranger.Close()
+	time.Sleep(50 * time.Millisecond) // let the acceptor take the stranger first
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eps[1], errs[1] = tcp.ConnectConfig(1, addrs, tcp.Config{RendezvousTimeout: 30 * time.Second})
+	}()
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	defer eps[0].Close()
+	defer eps[1].Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("rendezvous took %v with a stalled stranger; handshakes are not concurrent", elapsed)
+	}
+	eps[1].Send(0, 9, []byte("ok"))
+	if got := eps[0].Recv(1, 9); string(got) != "ok" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -24,6 +24,8 @@
 // backend carries the messages.
 package transport
 
+import "time"
+
 // Transport is one PE's endpoint of the message substrate.
 type Transport interface {
 	// Rank returns this endpoint's rank in [0, P).
@@ -40,6 +42,17 @@ type Transport interface {
 	// panics if the endpoint is closed or the peer connection is lost while
 	// waiting.
 	Recv(src, tag int) []byte
+	// RecvAny blocks until a message with the given tag is available from
+	// ANY of the listed sources, removes it, and returns it together with
+	// the rank it came from and its delivery time (the moment the message
+	// became receivable, which may predate the call when the payload sat
+	// queued — the split-phase overlap model needs arrival, not pickup,
+	// times). It is the readiness primitive of the split-phase
+	// collectives: received runs can be processed in arrival order instead
+	// of a fixed rank order. Like Recv it panics if a needed peer
+	// connection is lost while waiting. srcs must be non-empty and may
+	// include the endpoint's own rank.
+	RecvAny(srcs []int, tag int) (src int, data []byte, arrived time.Time)
 	// Release returns payload buffers (typically obtained from Recv) to the
 	// endpoint's buffer pool for reuse. Callers must no longer reference the
 	// buffers or any sub-slice of them. Releasing is optional and never

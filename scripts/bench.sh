@@ -6,6 +6,12 @@
 # BENCH_<date>.json at the repository root, so the performance trajectory
 # of the repo is recorded PR over PR.
 #
+# Every b.ReportMetric unit becomes a JSON column automatically (unit name
+# sanitized: "model-ms" -> model_ms, "bytes/str" -> bytes_per_str,
+# "overlap-ms" -> overlap_ms). model_ms and bytes_per_str are
+# deterministic; overlap_ms is the measured wall-clock communication time
+# the split-phase Step-3 exchange hid under Step-4 decoding.
+#
 # Usage:
 #   scripts/bench.sh                 # Fig4 + Fig5, benchtime 3x
 #   BENCHTIME=10x scripts/bench.sh   # more iterations

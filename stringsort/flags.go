@@ -1,0 +1,82 @@
+package stringsort
+
+import (
+	"flag"
+	"fmt"
+)
+
+// TuningFlags bundles the algorithm-tuning command-line flags shared by
+// cmd/dss-sort and cmd/dss-worker. Both binaries register the identical
+// set through RegisterTuningFlags, so they cannot drift apart: every knob
+// that shapes the sort itself (algorithm, sampling, exchange seam,
+// validation, seed) is accepted by both. Only the flags that describe HOW
+// the machine is assembled differ between them — dss-sort owns -p,
+// -transport and -peers (it builds the whole machine in one process),
+// dss-worker owns -rank, -peers and -rendezvous (one OS process per PE,
+// always TCP) — and those gaps are intentional, documented in each
+// binary's usage text.
+type TuningFlags struct {
+	Algo         *string
+	Seed         *uint64
+	Oversampling *int
+	CharSample   *bool
+	Eps          *float64
+	TieBreak     *bool
+	RandomSample *bool
+	Exchange     *string
+	Validate     *bool
+}
+
+// RegisterTuningFlags registers the shared tuning flags on fs (use
+// flag.CommandLine for the process-wide set) and returns the handle to
+// resolve them after parsing.
+func RegisterTuningFlags(fs *flag.FlagSet) *TuningFlags {
+	return &TuningFlags{
+		Algo:         fs.String("algo", "MS", "algorithm: "+AlgorithmNames()),
+		Seed:         fs.Uint64("seed", 1, "random seed (identical on all workers of one job)"),
+		Oversampling: fs.Int("oversampling", 0, "per-PE sample count v of Step 2 (0 = automatic 2p-1)"),
+		CharSample:   fs.Bool("charsample", false, "character-based splitter sampling (skew experiment)"),
+		Eps:          fs.Float64("eps", 0, "PDMS prefix growth factor (0 = default doubling)"),
+		TieBreak:     fs.Bool("tiebreak", false, "partition by (string, origin) pairs to spread duplicates"),
+		RandomSample: fs.Bool("randomsample", false, "random instead of regular splitter samples"),
+		Exchange:     fs.String("exchange", "split", "Step-3 seam: split (overlap exchange with merge decode) or blocking (bulk-synchronous)"),
+		Validate:     fs.Bool("validate", false, "run the distributed verifier after sorting"),
+	}
+}
+
+// Apply resolves the parsed flag values into cfg. It returns an error for
+// an unknown algorithm or exchange mode.
+func (tf *TuningFlags) Apply(cfg *Config) error {
+	algo, err := ParseAlgorithm(*tf.Algo)
+	if err != nil {
+		return err
+	}
+	blocking, err := ParseExchangeMode(*tf.Exchange)
+	if err != nil {
+		return err
+	}
+	cfg.Algorithm = algo
+	cfg.Seed = *tf.Seed
+	cfg.Oversampling = *tf.Oversampling
+	cfg.CharSampling = *tf.CharSample
+	cfg.Eps = *tf.Eps
+	cfg.TieBreak = *tf.TieBreak
+	cfg.RandomSampling = *tf.RandomSample
+	cfg.BlockingExchange = blocking
+	cfg.Validate = *tf.Validate
+	return nil
+}
+
+// ParseExchangeMode resolves the -exchange flag value: "split" (the
+// default overlapped seam) or "blocking" (bulk-synchronous), reported as
+// Config.BlockingExchange.
+func ParseExchangeMode(name string) (blocking bool, err error) {
+	switch name {
+	case "split", "overlap":
+		return false, nil
+	case "blocking":
+		return true, nil
+	default:
+		return false, fmt.Errorf("stringsort: unknown exchange mode %q (have split, blocking)", name)
+	}
+}

@@ -61,18 +61,7 @@ func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
 	rep := comm.AllgatherReport(c, model, statsGID)
 	g := comm.NewGroup(c, comm.WorldRanks(t.P()), extentGID)
 	_, n := g.ExscanUint64(uint64(len(local)))
-	st := Stats{
-		ModelTime:      rep.ModelTime(),
-		BytesSent:      rep.TotalBytesSent(),
-		BytesPerString: rep.BytesPerString(int64(n)),
-		MaxBytesSent:   rep.MaxBytesSent(),
-		MaxBytesRecv:   rep.MaxBytesRecv(),
-		MeanBytesRecv:  rep.MeanBytesRecv(),
-		Messages:       rep.TotalMessages(),
-		Work:           rep.TotalWork(),
-		Imbalance:      rep.Imbalance(),
-		PhaseTable:     rep.Table(),
-	}
+	st := statsFromReport(rep, int64(n))
 
 	prefixOnly := res.PrefixOnly
 	if prefixOnly && cfg.Reconstruct {

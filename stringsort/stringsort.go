@@ -19,6 +19,7 @@ package stringsort
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"dss/internal/comm"
@@ -192,6 +193,13 @@ type Config struct {
 	// host:port per PE (len must equal P). Empty means automatic loopback
 	// ports. Ignored by the local transport.
 	TCPPeers []string
+	// BlockingExchange selects the bulk-synchronous Step-3 seam (exchange
+	// completes before any run is decoded) instead of the default
+	// split-phase one that decodes each incoming run on arrival. The
+	// deterministic statistics (model time, bytes/string) are identical
+	// either way; blocking mode exists for differential testing and as the
+	// reference point of the overlap measurements.
+	BlockingExchange bool
 }
 
 // PEOutput is one PE's fragment of the sorted result.
@@ -206,6 +214,11 @@ type PEOutput struct {
 }
 
 // Stats summarizes one run's cost, the two metrics of Figures 4 and 5.
+// All fields except OverlapMS, MaxOverlapMS, WallMS and WallTable are
+// deterministic: bit-identical across transports, seam modes (blocking vs
+// split-phase) and runs. Those four wall-clock fields are measurements of
+// the overlap model and vary run to run; comparisons across backends must
+// ignore them (zero the fields before ==, as the package tests do).
 type Stats struct {
 	ModelTime      float64 // α-β model running time in seconds
 	BytesSent      int64   // total payload bytes sent between PEs
@@ -217,6 +230,60 @@ type Stats struct {
 	Work           int64   // total local work units (characters)
 	Imbalance      float64 // max/mean per-PE work
 	PhaseTable     string  // human-readable per-phase breakdown
+	// OverlapMS is the total communication time (summed PE-milliseconds,
+	// wall clock) the split-phase Step-3 exchange hid under Step-4 decode
+	// work — time a bulk-synchronous seam would have spent waiting. As a
+	// sum over PEs it can exceed WallMS; compare MaxOverlapMS to wall
+	// spans instead. Zero with BlockingExchange.
+	OverlapMS float64
+	// MaxOverlapMS is the bottleneck overlap: the largest per-PE hidden
+	// communication time in ms, directly comparable to WallMS.
+	MaxOverlapMS float64
+	// WallMS is the slowest PE's total wall-clock time in ms (measured, not
+	// modeled).
+	WallMS float64
+	// WallTable is the human-readable per-phase breakdown of the measured
+	// wall spans and overlap (nondeterministic, like OverlapMS/WallMS).
+	WallTable string
+}
+
+// WriteSummary writes the human-readable run summary that dss-sort and
+// dss-worker print to stderr. One shared copy — like the tuning flags —
+// so the two binaries' output cannot drift apart: the CI smoke matrix
+// greps these exact labels. machine describes the execution shape (e.g.
+// "8 PEs" or "4 worker processes"); n is the global input string count.
+func (st Stats) WriteSummary(w io.Writer, algo Algorithm, machine string, n int) {
+	fmt.Fprintf(w, "algorithm:        %v on %s\n", algo, machine)
+	fmt.Fprintf(w, "strings:          %d\n", n)
+	fmt.Fprintf(w, "model time:       %.4f s\n", st.ModelTime)
+	fmt.Fprintf(w, "bytes sent:       %d (%.1f per string)\n", st.BytesSent, st.BytesPerString)
+	fmt.Fprintf(w, "messages:         %d\n", st.Messages)
+	fmt.Fprintf(w, "work imbalance:   %.3f\n", st.Imbalance)
+	fmt.Fprintf(w, "wall time:        %.3f ms (slowest PE)\n", st.WallMS)
+	fmt.Fprintf(w, "overlap:          %.3f ms max per PE, %.3f PE-ms summed (comm hidden under compute)\n",
+		st.MaxOverlapMS, st.OverlapMS)
+	fmt.Fprintf(w, "%s", st.PhaseTable)
+	fmt.Fprintf(w, "%s", st.WallTable)
+}
+
+// statsFromReport flattens a machine-wide report into the public Stats.
+func statsFromReport(rep *stats.Report, n int64) Stats {
+	return Stats{
+		ModelTime:      rep.ModelTime(),
+		BytesSent:      rep.TotalBytesSent(),
+		BytesPerString: rep.BytesPerString(n),
+		MaxBytesSent:   rep.MaxBytesSent(),
+		MaxBytesRecv:   rep.MaxBytesRecv(),
+		MeanBytesRecv:  rep.MeanBytesRecv(),
+		Messages:       rep.TotalMessages(),
+		Work:           rep.TotalWork(),
+		Imbalance:      rep.Imbalance(),
+		PhaseTable:     rep.Table(),
+		OverlapMS:      float64(rep.TotalOverlapNS()) / 1e6,
+		MaxOverlapMS:   float64(rep.MaxOverlapNS()) / 1e6,
+		WallMS:         float64(rep.MaxWallNS()) / 1e6,
+		WallTable:      rep.WallTable(),
+	}
 }
 
 // Result is the outcome of a distributed sorting run.
@@ -272,18 +339,7 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 	for pe := 0; pe < p; pe++ {
 		n += int64(len(local(pe)))
 	}
-	st := Stats{
-		ModelTime:      rep.ModelTime(),
-		BytesSent:      rep.TotalBytesSent(),
-		BytesPerString: rep.BytesPerString(n),
-		MaxBytesSent:   rep.MaxBytesSent(),
-		MaxBytesRecv:   rep.MaxBytesRecv(),
-		MeanBytesRecv:  rep.MeanBytesRecv(),
-		Messages:       rep.TotalMessages(),
-		Work:           rep.TotalWork(),
-		Imbalance:      rep.Imbalance(),
-		PhaseTable:     rep.Table(),
-	}
+	st := statsFromReport(rep, n)
 
 	prefixOnly := results[0].PrefixOnly
 	if prefixOnly && cfg.Reconstruct {
@@ -373,9 +429,12 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 	case HQuick:
 		return core.HQuick(c, ss, core.HQOptions{
 			GroupID: 1, Seed: cfg.Seed, TrackPhases: true,
+			BlockingExchange: cfg.BlockingExchange,
 		})
 	case FKMerge:
-		return core.FKMerge(c, ss, core.FKOptions{GroupID: 1})
+		return core.FKMerge(c, ss, core.FKOptions{
+			GroupID: 1, BlockingExchange: cfg.BlockingExchange,
+		})
 	case MSSimple:
 		o := core.MSSimple()
 		o.GroupID = 1
@@ -384,6 +443,7 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		o.Sampling = sampling
 		o.TieBreak = cfg.TieBreak
 		o.RandomSampling = cfg.RandomSampling
+		o.BlockingExchange = cfg.BlockingExchange
 		return core.MergeSort(c, ss, o)
 	case MS:
 		o := core.DefaultMS()
@@ -393,6 +453,7 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		o.Sampling = sampling
 		o.TieBreak = cfg.TieBreak
 		o.RandomSampling = cfg.RandomSampling
+		o.BlockingExchange = cfg.BlockingExchange
 		return core.MergeSort(c, ss, o)
 	case PDMS, PDMSGolomb:
 		o := core.DefaultPDMS()
@@ -406,6 +467,7 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		if cfg.CharSampling {
 			o.StringSamplingOverride = false
 		}
+		o.BlockingExchange = cfg.BlockingExchange
 		return core.PDMS(c, ss, o)
 	default:
 		panic(fmt.Sprintf("stringsort: unknown algorithm %v", cfg.Algorithm))
