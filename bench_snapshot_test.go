@@ -1,0 +1,160 @@
+// Snapshot regression: the committed BENCH_<date>.json files record the
+// paper-figure metrics PR over PR. The deterministic columns — model_ms
+// and bytes_per_str — must not drift unless a PR deliberately changes the
+// algorithms' communication behavior, and in particular must be invariant
+// under every wire codec: compression happens below the accounting
+// boundary, so the paper's numbers cannot move.
+package dss_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dss/internal/input"
+	"dss/stringsort"
+)
+
+// benchSnapshot is the snapshot this tree's figures are pinned against
+// (written by scripts/bench.sh at the previous PR).
+const benchSnapshot = "BENCH_2026-07-30.json"
+
+type snapshotFile struct {
+	Results []struct {
+		Name        string  `json:"name"`
+		ModelMS     float64 `json:"model_ms"`
+		BytesPerStr float64 `json:"bytes_per_str"`
+	} `json:"results"`
+}
+
+// benchRound rounds x exactly as the testing package prints benchmark
+// metrics (and therefore exactly as the numbers entered the snapshot):
+// four significant figures for small values, whole numbers from 1000 up.
+func benchRound(x float64) float64 {
+	var prec int
+	switch y := math.Abs(x); {
+	case y == 0 || y >= 999.95:
+		prec = 0
+	case y >= 99.995:
+		prec = 1
+	case y >= 9.9995:
+		prec = 2
+	case y >= 0.99995:
+		prec = 3
+	case y >= 0.099995:
+		prec = 4
+	case y >= 0.0099995:
+		prec = 5
+	case y >= 0.00099995:
+		prec = 6
+	default:
+		prec = 7
+	}
+	v, _ := strconv.ParseFloat(strconv.FormatFloat(x, 'f', prec, 64), 64)
+	return v
+}
+
+// snapshotInputs rebuilds the workload of one Fig4/Fig5 benchmark from its
+// snapshot name, mirroring the constants in bench_test.go.
+func snapshotInputs(name string) (inputs [][][]byte, algo stringsort.Algorithm, err error) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 3 {
+		return nil, 0, fmt.Errorf("unrecognized benchmark name %q", name)
+	}
+	algo, err = stringsort.ParseAlgorithm(parts[2])
+	if err != nil {
+		return nil, 0, err
+	}
+	switch parts[0] {
+	case "BenchmarkFig4":
+		const p, nPerPE, length = 8, 1000, 100
+		ratio, perr := strconv.ParseFloat(strings.TrimPrefix(parts[1], "DN="), 64)
+		if perr != nil {
+			return nil, 0, perr
+		}
+		inputs = make([][][]byte, p)
+		for pe := 0; pe < p; pe++ {
+			inputs[pe] = input.DN(input.DNConfig{
+				StringsPerPE: nPerPE, Length: length, Ratio: ratio, Seed: benchSeed,
+			}, pe, p)
+		}
+	case "BenchmarkFig5CommonCrawl", "BenchmarkFig5DNA":
+		const total = 16000
+		p, perr := strconv.Atoi(strings.TrimPrefix(parts[1], "p="))
+		if perr != nil {
+			return nil, 0, perr
+		}
+		inputs = make([][][]byte, p)
+		for pe := 0; pe < p; pe++ {
+			if parts[0] == "BenchmarkFig5CommonCrawl" {
+				inputs[pe] = input.CommonCrawlLike(input.CCConfig{
+					LinesPerPE: total / p, Seed: benchSeed,
+				}, pe, p)
+			} else {
+				inputs[pe] = input.DNAReads(input.DNAConfig{
+					ReadsPerPE: total / p, Seed: benchSeed,
+				}, pe, p)
+			}
+		}
+	default:
+		return nil, 0, fmt.Errorf("unrecognized benchmark family %q", parts[0])
+	}
+	return inputs, algo, nil
+}
+
+// TestBenchSnapshotModelInvariance replays every Fig4/Fig5 cell of the
+// committed snapshot under every wire codec and requires the deterministic
+// model metrics — model-ms and bytes/str, rounded at the snapshot's print
+// precision — to match bit-for-bit: the codec layer must be invisible to
+// the paper's accounting. On the Fig4 cells it additionally requires the
+// compressing codecs to put strictly fewer bytes per string on the wire
+// than the raw model volume (the subsystem's reason to exist).
+func TestBenchSnapshotModelInvariance(t *testing.T) {
+	raw, err := os.ReadFile(benchSnapshot)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("parse %s: %v", benchSnapshot, err)
+	}
+	if len(snap.Results) != 54 {
+		t.Fatalf("snapshot has %d Fig4/Fig5 cells, want 54", len(snap.Results))
+	}
+	matched := 0
+	for _, row := range snap.Results {
+		inputs, algo, err := snapshotInputs(row.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", row.Name, err)
+		}
+		for _, codec := range []string{"none", "flate", "lcp"} {
+			res, err := stringsort.Sort(inputs, stringsort.Config{
+				Algorithm: algo, Seed: benchSeed, Codec: codec,
+			})
+			if err != nil {
+				t.Fatalf("%s codec=%s: %v", row.Name, codec, err)
+			}
+			st := res.Stats
+			if got := benchRound(st.ModelTime * 1e3); got != row.ModelMS {
+				t.Errorf("%s codec=%s: model-ms %v, snapshot %v", row.Name, codec, got, row.ModelMS)
+			}
+			if got := benchRound(st.BytesPerString); got != row.BytesPerStr {
+				t.Errorf("%s codec=%s: bytes/str %v, snapshot %v", row.Name, codec, got, row.BytesPerStr)
+			}
+			if strings.HasPrefix(row.Name, "BenchmarkFig4") && codec != "none" {
+				if st.WireBytesPerString >= st.BytesPerString {
+					t.Errorf("%s codec=%s: wire bytes/str %.2f not strictly below raw %.2f",
+						row.Name, codec, st.WireBytesPerString, st.BytesPerString)
+				}
+			}
+		}
+		if !t.Failed() {
+			matched++
+		}
+	}
+	t.Logf("%d/%d snapshot cells bit-identical under all codecs", matched, len(snap.Results))
+}

@@ -19,7 +19,9 @@
 //	dss-bench -fig all          # everything
 //
 // Scale knobs: -pes, -n (strings per PE, weak scaling), -len, -total
-// (strings, strong scaling), -seed.
+// (strings, strong scaling), -seed. -codec decorates the transport with a
+// wire codec and adds the wire-bytes-per-string panel to every figure
+// series (the model panels are codec-invariant by construction).
 package main
 
 import (
@@ -43,6 +45,7 @@ type options struct {
 	length int
 	total  int
 	seed   int64
+	codec  string
 }
 
 func main() {
@@ -54,6 +57,7 @@ func main() {
 	flag.IntVar(&opt.length, "len", 100, "string length for D/N instances")
 	flag.IntVar(&opt.total, "total", 30000, "total strings (strong scaling)")
 	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
+	flag.StringVar(&opt.codec, "codec", "none", "wire codec decorating the transport (none, flate, lcp); adds a wire-bytes panel")
 	flag.Parse()
 
 	for _, part := range strings.Split(pesFlag, ",") {
@@ -103,38 +107,51 @@ func main() {
 }
 
 // runOne sorts the given distributed input and returns (model time,
-// bytes/string).
-func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampling bool) (float64, float64) {
+// bytes/string, wire bytes/string, compression ratio).
+func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampling bool, codec string) (float64, float64, float64, float64) {
 	res, err := stringsort.Sort(inputs, stringsort.Config{
 		Algorithm:    algo,
 		Seed:         seed,
 		CharSampling: charSampling,
+		Codec:        codec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v failed: %v\n", algo, err)
 		os.Exit(1)
 	}
-	return res.Stats.ModelTime, res.Stats.BytesPerString
+	st := res.Stats
+	return st.ModelTime, st.BytesPerString, st.WireBytesPerString, st.CompressionRatio
 }
 
-// series runs all algorithms over the PE axis and prints the two panels.
-func series(title string, pes []int, gen func(pe, p int) [][]byte, seed uint64, algos []stringsort.Algorithm) {
+// series runs all algorithms over the PE axis and prints the two panels of
+// the figure — plus, when a wire codec is selected, the wire-bytes and
+// compression-ratio panels (what actually crossed the fabric; the model
+// panels are codec-invariant).
+func series(title string, pes []int, gen func(pe, p int) [][]byte, seed uint64, algos []stringsort.Algorithm, codec string) {
 	fmt.Printf("\n=== %s ===\n", title)
 	times := make(map[stringsort.Algorithm][]float64)
 	vols := make(map[stringsort.Algorithm][]float64)
+	wires := make(map[stringsort.Algorithm][]float64)
+	ratios := make(map[stringsort.Algorithm][]float64)
 	for _, p := range pes {
 		inputs := make([][][]byte, p)
 		for pe := 0; pe < p; pe++ {
 			inputs[pe] = gen(pe, p)
 		}
 		for _, algo := range algos {
-			t, v := runOne(inputs, algo, seed, false)
+			t, v, w, r := runOne(inputs, algo, seed, false, codec)
 			times[algo] = append(times[algo], t)
 			vols[algo] = append(vols[algo], v)
+			wires[algo] = append(wires[algo], w)
+			ratios[algo] = append(ratios[algo], r)
 		}
 	}
 	printPanel("model time (s)", pes, algos, times, "%9.4f")
 	printPanel("bytes sent per string", pes, algos, vols, "%9.1f")
+	if codec != "" && codec != "none" {
+		printPanel(fmt.Sprintf("wire bytes per string (codec=%s)", codec), pes, algos, wires, "%9.1f")
+		printPanel(fmt.Sprintf("compression ratio, wire/raw (codec=%s)", codec), pes, algos, ratios, "%9.3f")
+	}
 }
 
 func printPanel(label string, pes []int, algos []stringsort.Algorithm, data map[stringsort.Algorithm][]float64, cellFmt string) {
@@ -164,7 +181,7 @@ func figure4(opt options) {
 			r, opt.nPerPE, opt.length)
 		series(title, opt.pes, func(pe, p int) [][]byte {
 			return input.DN(cfg, pe, p)
-		}, uint64(opt.seed), stringsort.Algorithms)
+		}, uint64(opt.seed), stringsort.Algorithms, opt.codec)
 	}
 }
 
@@ -177,7 +194,7 @@ func figure5CC(opt options) {
 		return input.CommonCrawlLike(input.CCConfig{
 			LinesPerPE: opt.total / p, Seed: opt.seed,
 		}, pe, p)
-	}, uint64(opt.seed), stringsort.Algorithms)
+	}, uint64(opt.seed), stringsort.Algorithms, opt.codec)
 }
 
 // figure5DNA reproduces the DNAREADS strong scaling experiment.
@@ -187,7 +204,7 @@ func figure5DNA(opt options) {
 		return input.DNAReads(input.DNAConfig{
 			ReadsPerPE: opt.total / p, Seed: opt.seed,
 		}, pe, p)
-	}, uint64(opt.seed), stringsort.Algorithms)
+	}, uint64(opt.seed), stringsort.Algorithms, opt.codec)
 }
 
 // suffixExperiment reproduces the Section VII-E suffix instance: all
@@ -203,7 +220,7 @@ func suffixExperiment(opt options) {
 	fmt.Printf("\n(suffix instance D/N = %.5f)\n", dn)
 	series(title, opt.pes, func(pe, p int) [][]byte {
 		return input.SuffixInstance(input.SuffixConfig{TextLen: textLen, Seed: opt.seed}, pe, p)
-	}, uint64(opt.seed), stringsort.Algorithms)
+	}, uint64(opt.seed), stringsort.Algorithms, opt.codec)
 }
 
 // skewExperiment reproduces the Section VII-E skewed D/N instance,

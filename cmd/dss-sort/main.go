@@ -17,9 +17,16 @@
 // incoming runs as they arrive, overlapping communication with compute
 // (reported as the overlap statistic). -exchange blocking restores the
 // bulk-synchronous seam; the deterministic statistics are identical in
-// both modes. All tuning flags (-algo, -seed, -oversampling, -charsample,
-// -eps, -tiebreak, -randomsample, -exchange, -validate) are shared
-// verbatim with dss-worker.
+// both modes.
+//
+// -codec decorates the transport with a wire codec (flate, or the
+// LCP-front-coding-aware lcp codec) that compresses frames above
+// -codec-min bytes before they cross the fabric. The model statistics
+// (model time, bytes sent) are billed on the raw payloads and stay
+// bit-identical under every codec; the "wire bytes" line reports what
+// actually crossed the wire. All tuning flags (-algo, -seed,
+// -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
+// -codec, -codec-min, -validate) are shared verbatim with dss-worker.
 package main
 
 import (

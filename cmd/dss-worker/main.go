@@ -23,8 +23,11 @@
 //
 // Flag parity with dss-sort: every tuning flag of dss-sort (-algo, -seed,
 // -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
-// -validate) is accepted here with identical semantics — both binaries
-// register the same stringsort.RegisterTuningFlags set. The intentional
+// -codec, -codec-min, -validate) is accepted here with identical semantics
+// — both binaries register the same stringsort.RegisterTuningFlags set.
+// Launch every worker of one job with the same -codec: RunPE decorates the
+// endpoint with the wire codec, frames are compressed on the wire, and the
+// model statistics stay bit-identical to an uncompressed run. The intentional
 // gaps are the machine-assembly flags: dss-worker has no -p (the PE count
 // is the length of the -peers table) and no -transport (one worker per OS
 // process is by definition the TCP substrate); dss-sort in turn has no

@@ -119,7 +119,7 @@ func (m *Machine) Run(f func(c *Comm) error) error {
 					// in tests. Mark and return.
 				}
 			}()
-			c := &Comm{t: m.fabric.Endpoint(rank), st: m.pes[rank], phaseStart: time.Now()}
+			c := newComm(m.fabric.Endpoint(rank), m.pes[rank])
 			errs[rank] = f(c)
 			c.flushWall()
 		}(rank)
@@ -138,8 +138,20 @@ func (m *Machine) Run(f func(c *Comm) error) error {
 type Comm struct {
 	t          transport.Transport
 	st         *stats.PE
+	wm         wireMeter // non-nil when the transport meters wire bytes itself
 	phase      stats.Phase
 	phaseStart time.Time // start of the current phase's wall span
+}
+
+// wireMeter is the optional transport interface of the wire-compression
+// decorator (transport/codec): a transport that changes the bytes crossing
+// the fabric meters the actual frame sizes into the PE's wire counters and
+// follows the comm layer's phase transitions. Transports without the
+// interface ship frames verbatim, and comm mirrors the raw volume into the
+// wire counters instead — stats.PE.Wire is always populated either way.
+type wireMeter interface {
+	BindWireStats(*stats.PE)
+	SetWirePhase(stats.Phase)
 }
 
 // NewComm wraps a single connected transport endpoint for SPMD runs where
@@ -147,7 +159,19 @@ type Comm struct {
 // The Comm starts with fresh accounting state; the caller keeps ownership
 // of the endpoint and is responsible for closing it.
 func NewComm(t transport.Transport) *Comm {
-	return &Comm{t: t, st: &stats.PE{Rank: t.Rank()}, phaseStart: time.Now()}
+	return newComm(t, &stats.PE{Rank: t.Rank()})
+}
+
+// newComm binds a transport endpoint to its accounting state, hooking up
+// the wire metering when the transport supports it.
+func newComm(t transport.Transport, pe *stats.PE) *Comm {
+	c := &Comm{t: t, st: pe, phaseStart: time.Now()}
+	if wm, ok := t.(wireMeter); ok {
+		wm.BindWireStats(pe)
+		wm.SetWirePhase(c.phase)
+		c.wm = wm
+	}
+	return c
 }
 
 // Rank returns this PE's rank in [0, P).
@@ -164,6 +188,9 @@ func (c *Comm) SetPhase(ph stats.Phase) stats.Phase {
 	c.flushWall()
 	old := c.phase
 	c.phase = ph
+	if c.wm != nil {
+		c.wm.SetWirePhase(ph)
+	}
 	return old
 }
 
@@ -217,6 +244,11 @@ func (c *Comm) sendAs(ph stats.Phase, dst, tag int, data []byte) {
 		pc := &c.st.Phases[ph]
 		pc.BytesSent += int64(len(data))
 		pc.Messages++
+		if c.wm == nil {
+			// No codec decorates the transport: every frame ships
+			// verbatim, so the wire volume IS the raw volume.
+			c.st.Wire[ph].Sent += int64(len(data))
+		}
 	}
 	c.t.Send(dst, tag, data)
 }
@@ -224,6 +256,9 @@ func (c *Comm) sendAs(ph stats.Phase, dst, tag int, data []byte) {
 func (c *Comm) accountRecvAs(ph stats.Phase, src, n int) {
 	if src != c.t.Rank() {
 		c.st.Phases[ph].BytesRecv += int64(n)
+		if c.wm == nil {
+			c.st.Wire[ph].Recv += int64(n)
+		}
 	}
 }
 

@@ -8,9 +8,10 @@ import (
 )
 
 // countersPerPE is the flattened size of one PE's phase counters: the four
-// deterministic counters plus the wall span and overlap measurements of the
-// overlap model, per phase.
-const countersPerPE = int(stats.NumPhases) * 6
+// deterministic counters, the wall span and overlap measurements of the
+// overlap model, and the two wire-byte counters of the codec layer, per
+// phase.
+const countersPerPE = int(stats.NumPhases) * 8
 
 // AllgatherReport exchanges every PE's accounting snapshot and returns a
 // machine-wide report, identical on every member — the SPMD counterpart of
@@ -26,12 +27,14 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 	vals := make([]uint64, countersPerPE)
 	for ph := stats.Phase(0); ph < stats.NumPhases; ph++ {
 		pc := snap.Phases[ph]
-		vals[int(ph)*6+0] = uint64(pc.BytesSent)
-		vals[int(ph)*6+1] = uint64(pc.BytesRecv)
-		vals[int(ph)*6+2] = uint64(pc.Messages)
-		vals[int(ph)*6+3] = uint64(pc.Work)
-		vals[int(ph)*6+4] = uint64(snap.Wall[ph])
-		vals[int(ph)*6+5] = uint64(snap.Overlap[ph])
+		vals[int(ph)*8+0] = uint64(pc.BytesSent)
+		vals[int(ph)*8+1] = uint64(pc.BytesRecv)
+		vals[int(ph)*8+2] = uint64(pc.Messages)
+		vals[int(ph)*8+3] = uint64(pc.Work)
+		vals[int(ph)*8+4] = uint64(snap.Wall[ph])
+		vals[int(ph)*8+5] = uint64(snap.Overlap[ph])
+		vals[int(ph)*8+6] = uint64(snap.Wire[ph].Sent)
+		vals[int(ph)*8+7] = uint64(snap.Wire[ph].Recv)
 	}
 	g := NewGroup(c, WorldRanks(c.P()), gid)
 	parts := g.Allgatherv(wire.EncodeUint64s(vals))
@@ -44,13 +47,17 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 		pe := &stats.PE{Rank: i}
 		for ph := stats.Phase(0); ph < stats.NumPhases; ph++ {
 			pe.Phases[ph] = stats.PhaseCounters{
-				BytesSent: int64(vs[int(ph)*6+0]),
-				BytesRecv: int64(vs[int(ph)*6+1]),
-				Messages:  int64(vs[int(ph)*6+2]),
-				Work:      int64(vs[int(ph)*6+3]),
+				BytesSent: int64(vs[int(ph)*8+0]),
+				BytesRecv: int64(vs[int(ph)*8+1]),
+				Messages:  int64(vs[int(ph)*8+2]),
+				Work:      int64(vs[int(ph)*8+3]),
 			}
-			pe.Wall[ph] = int64(vs[int(ph)*6+4])
-			pe.Overlap[ph] = int64(vs[int(ph)*6+5])
+			pe.Wall[ph] = int64(vs[int(ph)*8+4])
+			pe.Overlap[ph] = int64(vs[int(ph)*8+5])
+			pe.Wire[ph] = stats.WireCounters{
+				Sent: int64(vs[int(ph)*8+6]),
+				Recv: int64(vs[int(ph)*8+7]),
+			}
 		}
 		pes[i] = pe
 	}

@@ -187,6 +187,16 @@ func (r *BitReader) ReadUnary() (uint64, error) {
 	}
 }
 
+// WriteGolomb appends one Golomb-coded value with parameter m (m ≥ 1).
+// Exported for codecs that interleave Golomb fields with other bit data
+// (the transport codec layer's LCP front-coding codec); EncodeSorted
+// remains the one-shot API for whole monotone sequences.
+func (w *BitWriter) WriteGolomb(v, m uint64) { encodeValue(w, v, m) }
+
+// ReadGolomb reads one Golomb-coded value with parameter m, the inverse of
+// WriteGolomb.
+func (r *BitReader) ReadGolomb(m uint64) (uint64, error) { return decodeValue(r, m) }
+
 // encodeValue writes v with Golomb parameter m (m ≥ 1): quotient v/m in
 // unary, remainder by truncated binary coding.
 func encodeValue(w *BitWriter, v, m uint64) {

@@ -69,6 +69,18 @@ type PhaseCounters struct {
 	Work      int64 // local work units (characters inspected/moved)
 }
 
+// WireCounters accumulates the post-codec byte totals of one PE: the bytes
+// that actually crossed the fabric after the transport's wire codec ran, as
+// opposed to the raw model bytes of PhaseCounters. Without a codec the two
+// are equal; with one, Sent/Recv shrink (or, for incompressible frames,
+// grow by the per-frame codec header). Wire bytes never feed the α-β model
+// time — they are the second accounting channel the figures report
+// alongside the paper's raw volume.
+type WireCounters struct {
+	Sent int64 // post-codec bytes shipped to other PEs (self-sends excluded)
+	Recv int64 // post-codec bytes received from other PEs
+}
+
 // PE holds the accounting state of a single processing element. A PE value
 // is owned by exactly one goroutine while an algorithm runs; it must only be
 // read by other goroutines after the machine has finished.
@@ -81,6 +93,14 @@ type PhaseCounters struct {
 type PE struct {
 	Rank   int
 	Phases [NumPhases]PhaseCounters
+	// Wire[ph] counts the post-codec bytes of frames encoded or decoded
+	// while ph was the wire-accounting phase. The machine-wide totals are
+	// deterministic for a fixed codec (frame encodings are pure functions
+	// of their payloads); the per-phase split is attribution-grade only —
+	// a split-phase collective drained in a later phase bills its frames'
+	// wire bytes there, while the raw counters stay with the posting phase.
+	// Compare totals, not per-phase wire values, across seam modes.
+	Wire [NumPhases]WireCounters
 	// Wall[ph] is the wall-clock nanoseconds this PE spent with ph as its
 	// accounting phase (accumulated at every comm.SetPhase transition).
 	Wall [NumPhases]int64
@@ -89,6 +109,16 @@ type PE struct {
 	// span from posting to the last drained payload minus the time the PE
 	// actually spent blocked waiting on it. Zero for blocking collectives.
 	Overlap [NumPhases]int64
+}
+
+// TotalWire returns the sum of the PE's wire counters over all phases.
+func (pe *PE) TotalWire() WireCounters {
+	var t WireCounters
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		t.Sent += pe.Wire[ph].Sent
+		t.Recv += pe.Wire[ph].Recv
+	}
+	return t
 }
 
 // Add accumulates the counters of a phase.
@@ -216,6 +246,38 @@ func (r *Report) TotalWork() int64 {
 		w += pe.Total().Work
 	}
 	return w
+}
+
+// TotalWireBytesSent returns the sum over all PEs of post-codec bytes that
+// actually crossed the fabric. Equal to TotalBytesSent when no codec
+// decorates the transport (the comm layer mirrors raw volume into the wire
+// counters then); strictly smaller when a compressing codec pays off.
+func (r *Report) TotalWireBytesSent() int64 {
+	var b int64
+	for _, pe := range r.PEs {
+		b += pe.TotalWire().Sent
+	}
+	return b
+}
+
+// WireBytesPerString returns the average post-codec communication volume
+// per input string — the wire-side counterpart of BytesPerString.
+func (r *Report) WireBytesPerString(n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(r.TotalWireBytesSent()) / float64(n)
+}
+
+// CompressionRatio returns wire bytes over raw bytes (1.0 means every
+// frame shipped verbatim; below 1.0 the codec shrank the traffic). With no
+// raw traffic at all the ratio is defined as 1.
+func (r *Report) CompressionRatio() float64 {
+	raw := r.TotalBytesSent()
+	if raw == 0 {
+		return 1
+	}
+	return float64(r.TotalWireBytesSent()) / float64(raw)
 }
 
 // MaxBytesSent returns the bottleneck send volume: the maximum over PEs.

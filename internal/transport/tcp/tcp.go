@@ -5,8 +5,9 @@
 // Topology and rendezvous. Every PE knows the full peer table (rank →
 // host:port, identical on all PEs) and binds a listener on its own entry.
 // Exactly one connection exists per unordered PE pair: rank i dials every
-// rank j < i (retrying until the peer's listener is up, bounded by the
-// rendezvous timeout) and accepts from every rank j > i. A 13-byte
+// rank j < i (transient connect failures retry with bounded exponential
+// backoff until the peer's listener is up, capped by the rendezvous
+// timeout) and accepts from every rank j > i. A 13-byte
 // handshake in each direction (magic, protocol version, rank, fabric size)
 // maps connections to ranks and rejects strangers; accepted handshakes run
 // concurrently under the rendezvous deadline, so one stalled stranger
@@ -44,8 +45,16 @@ const (
 	handshakeLen      = 13 // magic u32 | version u8 | rank u32 | p u32
 	headerLen         = 12 // tag u64 | payload length u32
 	maxPayload        = 1<<31 - 1
-	dialRetryEvery    = 25 * time.Millisecond
 	defaultRendezvous = 30 * time.Second
+
+	// Dial retries back off exponentially between these bounds. The first
+	// retries come fast (workers of one job usually start within
+	// milliseconds of each other, and a refused connection simply means the
+	// peer's listener is not up yet), but a peer that stays away — a slow
+	// container pull, a host still booting — must not be hammered with
+	// thousands of SYNs for the rest of the rendezvous window.
+	dialBackoffMin = 2 * time.Millisecond
+	dialBackoffMax = 250 * time.Millisecond
 )
 
 // Config tunes connection establishment.
@@ -254,8 +263,15 @@ func (e *Endpoint) dialPeers(peers []string, deadline time.Time, abort <-chan st
 	return nil
 }
 
+// dialPeer dials one lower-ranked peer, treating transient connect
+// failures (connection refused, host momentarily unreachable, a listener
+// backlog overflow) as "not up yet" and retrying with bounded exponential
+// backoff until the rendezvous deadline. Only handshake mismatches that
+// redialing cannot cure (errFatalHandshake) and an abort from the accept
+// side fail immediately.
 func (e *Endpoint) dialPeer(r int, addr string, deadline time.Time, abort <-chan struct{}) (net.Conn, error) {
 	var lastErr error
+	backoff := dialBackoffMin
 	for time.Now().Before(deadline) {
 		d := net.Dialer{Deadline: deadline}
 		conn, err := d.Dial("tcp", addr)
@@ -281,12 +297,19 @@ func (e *Endpoint) dialPeer(r int, addr string, deadline time.Time, abort <-chan
 				return nil, fmt.Errorf("transport/tcp: rank %d: handshake with rank %d at %s: %w",
 					e.rank, r, addr, err)
 			}
+			// A connection that handshook partially (e.g. the peer died
+			// mid-hello) is worth a quick retry: reset the backoff, the
+			// peer was demonstrably reachable a moment ago.
+			backoff = dialBackoffMin
 		}
 		lastErr = err
 		select {
 		case <-abort:
 			return nil, fmt.Errorf("transport/tcp: rank %d: %w", e.rank, errRendezvousAborted)
-		case <-time.After(dialRetryEvery):
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > dialBackoffMax {
+			backoff = dialBackoffMax
 		}
 	}
 	return nil, fmt.Errorf("transport/tcp: rank %d: rendezvous with rank %d at %s timed out: %w",

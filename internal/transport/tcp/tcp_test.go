@@ -101,6 +101,39 @@ func TestStaggeredRendezvous(t *testing.T) {
 	}
 }
 
+// TestDialBackoffSurvivesLateListener pins the dial-side hardening: a
+// worker whose peer appears only after many refused connects (well past
+// the point where the exponential backoff has reached its cap) must keep
+// retrying and join the mesh instead of giving up on the first refusal.
+func TestDialBackoffSurvivesLateListener(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var wg sync.WaitGroup
+	eps := make([]*tcp.Endpoint, 2)
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { // rank 1 dials rank 0 immediately and eats refusals
+		defer wg.Done()
+		eps[1], errs[1] = tcp.ConnectConfig(1, addrs, tcp.Config{RendezvousTimeout: 10 * time.Second})
+	}()
+	go func() { // rank 0's listener appears ~1s late
+		defer wg.Done()
+		time.Sleep(1 * time.Second)
+		eps[0], errs[0] = tcp.ConnectConfig(0, addrs, tcp.Config{RendezvousTimeout: 10 * time.Second})
+	}()
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	defer eps[0].Close()
+	defer eps[1].Close()
+	eps[1].Send(0, 1, []byte("late"))
+	if got := eps[0].Recv(1, 1); string(got) != "late" {
+		t.Fatalf("payload after late rendezvous: %q", got)
+	}
+}
+
 func TestConnectRejectsBadRank(t *testing.T) {
 	if _, err := tcp.Connect(3, []string{"127.0.0.1:0", "127.0.0.1:0"}); err == nil {
 		t.Fatal("rank out of range accepted")

@@ -8,9 +8,20 @@
 #
 # Every b.ReportMetric unit becomes a JSON column automatically (unit name
 # sanitized: "model-ms" -> model_ms, "bytes/str" -> bytes_per_str,
-# "overlap-ms" -> overlap_ms). model_ms and bytes_per_str are
-# deterministic; overlap_ms is the measured wall-clock communication time
-# the split-phase Step-3 exchange hid under Step-4 decoding.
+# "wire-bytes/str" -> wire_bytes_per_str, "compression-x" ->
+# compression_x, "overlap-ms" -> overlap_ms). model_ms and bytes_per_str
+# are deterministic and codec-invariant; wire_bytes_per_str and
+# compression_x record what the selected wire codec actually put on the
+# fabric (equal to bytes_per_str / 1.0 without one); overlap_ms is the
+# measured wall-clock communication time the split-phase Step-3 exchange
+# hid under Step-4 decoding.
+#
+# BENCH_CODEC decorates the benchmark transports with a wire codec
+# (none/flate/lcp). BENCH_BASELINE compares the fresh snapshot's model
+# columns against an earlier BENCH_*.json and fails on any drift — run it
+# with a codec to prove the paper's numbers don't move:
+#
+#   BENCH_CODEC=flate BENCH_BASELINE=BENCH_2026-07-30.json scripts/bench.sh
 #
 # Usage:
 #   scripts/bench.sh                 # Fig4 + Fig5, benchtime 3x
@@ -23,17 +34,28 @@ cd "$(dirname "$0")/.."
 
 PATTERN="${BENCH_PATTERN:-BenchmarkFig4|BenchmarkFig5}"
 BENCHTIME="${BENCHTIME:-3x}"
+CODEC="${BENCH_CODEC:-none}"
+BASELINE="${BENCH_BASELINE:-}"
 DATE="$(date +%Y-%m-%d)"
 OUT="${BENCH_OUT:-BENCH_${DATE}.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "running: go test -run '^$' -bench '$PATTERN' -benchmem -benchtime $BENCHTIME ." >&2
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+# Refuse to clobber the baseline we are about to compare against (easy to
+# hit: the default OUT is BENCH_<today>.json, which IS the baseline when
+# rechecking a snapshot taken the same day — the comparison would then
+# vacuously pass against itself).
+if [ -n "$BASELINE" ] && [ "$(readlink -f "$OUT" 2>/dev/null || echo "$OUT")" = "$(readlink -f "$BASELINE" 2>/dev/null || echo "$BASELINE")" ]; then
+    echo "BENCH_BASELINE ($BASELINE) and the output snapshot ($OUT) are the same file; set BENCH_OUT elsewhere" >&2
+    exit 1
+fi
 
-awk -v date="$DATE" -v benchtime="$BENCHTIME" '
+echo "running: DSS_BENCH_CODEC=$CODEC go test -run '^$' -bench '$PATTERN' -benchmem -benchtime $BENCHTIME ." >&2
+DSS_BENCH_CODEC="$CODEC" go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+awk -v date="$DATE" -v benchtime="$BENCHTIME" -v codec="$CODEC" '
 BEGIN {
-    printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n", date, benchtime
+    printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"codec\": \"%s\",\n", date, benchtime, codec
 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -60,3 +82,33 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
+
+# Baseline comparison: the deterministic model columns (model_ms,
+# bytes_per_str) must be bit-identical per benchmark to the baseline
+# snapshot — they are codec-invariant by construction, so any drift is an
+# algorithmic change, not wire compression.
+if [ -n "$BASELINE" ]; then
+    awk '
+    function key(line) {
+        match(line, /"name": "[^"]*"/)
+        return substr(line, RSTART + 9, RLENGTH - 10)
+    }
+    function model(line,    m) {
+        m = ""
+        if (match(line, /"model_ms": [^,}]*/))      m = m "|" substr(line, RSTART + 12, RLENGTH - 12)
+        if (match(line, /"bytes_per_str": [^,}]*/)) m = m "|" substr(line, RSTART + 17, RLENGTH - 17)
+        return m
+    }
+    /"name"/ {
+        if (NR == FNR) { base[key($0)] = model($0); next }
+        total++
+        k = key($0)
+        if (!(k in base))            { bad++; printf "MISSING in baseline: %s\n", k; next }
+        if (base[k] != model($0))    { bad++; printf "DRIFT %s: %s -> %s\n", k, base[k], model($0); next }
+        ok++
+    }
+    END {
+        printf "%d/%d model metrics bit-identical to baseline\n", ok, total
+        exit (bad > 0 || total == 0)
+    }' "$BASELINE" "$OUT" >&2
+fi

@@ -3,6 +3,8 @@ package stringsort
 import (
 	"flag"
 	"fmt"
+
+	"dss/internal/transport/codec"
 )
 
 // TuningFlags bundles the algorithm-tuning command-line flags shared by
@@ -24,6 +26,8 @@ type TuningFlags struct {
 	TieBreak     *bool
 	RandomSample *bool
 	Exchange     *string
+	Codec        *string
+	CodecMin     *int
 	Validate     *bool
 }
 
@@ -40,6 +44,8 @@ func RegisterTuningFlags(fs *flag.FlagSet) *TuningFlags {
 		TieBreak:     fs.Bool("tiebreak", false, "partition by (string, origin) pairs to spread duplicates"),
 		RandomSample: fs.Bool("randomsample", false, "random instead of regular splitter samples"),
 		Exchange:     fs.String("exchange", "split", "Step-3 seam: split (overlap exchange with merge decode) or blocking (bulk-synchronous)"),
+		Codec:        fs.String("codec", "none", "wire codec decorating the transport: "+codec.Names()+" (model stats unaffected)"),
+		CodecMin:     fs.Int("codec-min", codec.DefaultMinSize, "frames smaller than this many bytes ship uncompressed"),
 		Validate:     fs.Bool("validate", false, "run the distributed verifier after sorting"),
 	}
 }
@@ -55,7 +61,13 @@ func (tf *TuningFlags) Apply(cfg *Config) error {
 	if err != nil {
 		return err
 	}
+	codecName, err := codec.Parse(*tf.Codec)
+	if err != nil {
+		return err
+	}
 	cfg.Algorithm = algo
+	cfg.Codec = codecName
+	cfg.CodecMinSize = *tf.CodecMin
 	cfg.Seed = *tf.Seed
 	cfg.Oversampling = *tf.Oversampling
 	cfg.CharSampling = *tf.CharSample

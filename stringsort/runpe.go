@@ -7,6 +7,7 @@ import (
 	"dss/internal/core"
 	"dss/internal/stats"
 	"dss/internal/transport"
+	"dss/internal/transport/codec"
 	"dss/internal/verify"
 )
 
@@ -42,10 +43,23 @@ type PERun struct {
 // The caller keeps ownership of the endpoint: RunPE does not close it, so
 // several runs can reuse one fabric. Config.P must be zero or equal the
 // fabric size; Config.Transport and Config.TCPPeers are ignored (the
-// endpoint already embodies that choice).
+// endpoint already embodies that choice). Config.Codec is honored: RunPE
+// decorates the endpoint with the wire codec exactly like Sort decorates
+// its fabric, so every rank of an SPMD job must be launched with the same
+// codec (the frames are self-describing, but mixed configs would compress
+// only part of the traffic).
 func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
 	if cfg.P != 0 && cfg.P != t.P() {
 		return nil, fmt.Errorf("stringsort: Config.P=%d but fabric has %d PEs", cfg.P, t.P())
+	}
+	if name, err := codec.Parse(cfg.Codec); err != nil {
+		return nil, err
+	} else if name != "none" {
+		wrapped, err := codec.Wrap(t, codec.Config{Name: name, MinSize: cfg.CodecMinSize})
+		if err != nil {
+			return nil, err
+		}
+		t = wrapped
 	}
 	c := comm.NewComm(t)
 	res := dispatch(c, local, cfg)

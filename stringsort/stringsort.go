@@ -27,6 +27,9 @@ import (
 	"dss/internal/dupdetect"
 	"dss/internal/partition"
 	"dss/internal/stats"
+	"dss/internal/transport"
+	"dss/internal/transport/codec"
+	"dss/internal/transport/local"
 	"dss/internal/transport/tcp"
 	"dss/internal/verify"
 )
@@ -200,6 +203,17 @@ type Config struct {
 	// either way; blocking mode exists for differential testing and as the
 	// reference point of the overlap measurements.
 	BlockingExchange bool
+	// Codec names the wire codec decorating the transport ("", "none",
+	// "flate", "lcp"): frames are compressed before they cross the fabric
+	// and restored on receive. The paper's statistics are unaffected —
+	// model time and bytes/string are billed on the raw payloads and stay
+	// bit-identical under every codec — while Stats.WireBytes reports what
+	// actually crossed the wire. Works identically over the local and TCP
+	// substrates and under both exchange seams.
+	Codec string
+	// CodecMinSize is the compression threshold in bytes: frames smaller
+	// than this ship uncompressed (0 means the codec default, 64).
+	CodecMinSize int
 }
 
 // PEOutput is one PE's fragment of the sorted result.
@@ -230,6 +244,16 @@ type Stats struct {
 	Work           int64   // total local work units (characters)
 	Imbalance      float64 // max/mean per-PE work
 	PhaseTable     string  // human-readable per-phase breakdown
+	// WireBytes is the total post-codec volume that actually crossed the
+	// fabric: equal to BytesSent without a codec, smaller when Config.Codec
+	// compresses the frames. Deterministic for a fixed codec (frame
+	// encodings are pure functions of their payloads).
+	WireBytes int64
+	// WireBytesPerString is WireBytes over the global input size — the
+	// wire-side counterpart of BytesPerString.
+	WireBytesPerString float64
+	// CompressionRatio is WireBytes / BytesSent (1.0 means verbatim).
+	CompressionRatio float64
 	// OverlapMS is the total communication time (summed PE-milliseconds,
 	// wall clock) the split-phase Step-3 exchange hid under Step-4 decode
 	// work — time a bulk-synchronous seam would have spent waiting. As a
@@ -257,6 +281,8 @@ func (st Stats) WriteSummary(w io.Writer, algo Algorithm, machine string, n int)
 	fmt.Fprintf(w, "strings:          %d\n", n)
 	fmt.Fprintf(w, "model time:       %.4f s\n", st.ModelTime)
 	fmt.Fprintf(w, "bytes sent:       %d (%.1f per string)\n", st.BytesSent, st.BytesPerString)
+	fmt.Fprintf(w, "wire bytes:       %d (%.1f per string, %.3fx raw)\n",
+		st.WireBytes, st.WireBytesPerString, st.CompressionRatio)
 	fmt.Fprintf(w, "messages:         %d\n", st.Messages)
 	fmt.Fprintf(w, "work imbalance:   %.3f\n", st.Imbalance)
 	fmt.Fprintf(w, "wall time:        %.3f ms (slowest PE)\n", st.WallMS)
@@ -269,20 +295,23 @@ func (st Stats) WriteSummary(w io.Writer, algo Algorithm, machine string, n int)
 // statsFromReport flattens a machine-wide report into the public Stats.
 func statsFromReport(rep *stats.Report, n int64) Stats {
 	return Stats{
-		ModelTime:      rep.ModelTime(),
-		BytesSent:      rep.TotalBytesSent(),
-		BytesPerString: rep.BytesPerString(n),
-		MaxBytesSent:   rep.MaxBytesSent(),
-		MaxBytesRecv:   rep.MaxBytesRecv(),
-		MeanBytesRecv:  rep.MeanBytesRecv(),
-		Messages:       rep.TotalMessages(),
-		Work:           rep.TotalWork(),
-		Imbalance:      rep.Imbalance(),
-		PhaseTable:     rep.Table(),
-		OverlapMS:      float64(rep.TotalOverlapNS()) / 1e6,
-		MaxOverlapMS:   float64(rep.MaxOverlapNS()) / 1e6,
-		WallMS:         float64(rep.MaxWallNS()) / 1e6,
-		WallTable:      rep.WallTable(),
+		ModelTime:          rep.ModelTime(),
+		BytesSent:          rep.TotalBytesSent(),
+		BytesPerString:     rep.BytesPerString(n),
+		MaxBytesSent:       rep.MaxBytesSent(),
+		MaxBytesRecv:       rep.MaxBytesRecv(),
+		MeanBytesRecv:      rep.MeanBytesRecv(),
+		Messages:           rep.TotalMessages(),
+		Work:               rep.TotalWork(),
+		Imbalance:          rep.Imbalance(),
+		PhaseTable:         rep.Table(),
+		WireBytes:          rep.TotalWireBytesSent(),
+		WireBytesPerString: rep.WireBytesPerString(n),
+		CompressionRatio:   rep.CompressionRatio(),
+		OverlapMS:          float64(rep.TotalOverlapNS()) / 1e6,
+		MaxOverlapMS:       float64(rep.MaxOverlapNS()) / 1e6,
+		WallMS:             float64(rep.MaxWallNS()) / 1e6,
+		WallTable:          rep.WallTable(),
 	}
 }
 
@@ -393,30 +422,50 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 	return out, nil
 }
 
-// newMachine builds the comm machine for the configured transport.
+// newMachine builds the comm machine for the configured transport,
+// decorating the fabric with the wire codec when one is selected.
 func newMachine(p int, cfg Config) (*comm.Machine, error) {
+	var f transport.Fabric
 	switch cfg.Transport {
 	case TransportLocal:
-		return comm.New(p), nil
+		f = local.New(p)
 	case TransportTCP:
+		var err error
 		if len(cfg.TCPPeers) > 0 {
 			if len(cfg.TCPPeers) != p {
 				return nil, fmt.Errorf("stringsort: %d TCP peer addresses for %d PEs", len(cfg.TCPPeers), p)
 			}
-			f, err := tcp.NewFabric(cfg.TCPPeers)
-			if err != nil {
-				return nil, err
-			}
-			return comm.NewOver(f), nil
+			f, err = tcp.NewFabric(cfg.TCPPeers)
+		} else {
+			f, err = tcp.NewLoopback(p)
 		}
-		f, err := tcp.NewLoopback(p)
 		if err != nil {
 			return nil, err
 		}
-		return comm.NewOver(f), nil
 	default:
 		return nil, fmt.Errorf("stringsort: unknown transport %v", cfg.Transport)
 	}
+	f, err := wrapCodec(f, cfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return comm.NewOver(f), nil
+}
+
+// wrapCodec decorates the fabric with the configured wire codec. The
+// default ("" / "none") leaves the fabric untouched — the raw hot path
+// stays exactly as before, and the comm layer mirrors raw volume into the
+// wire counters so Stats.WireBytes is meaningful either way.
+func wrapCodec(f transport.Fabric, cfg Config) (transport.Fabric, error) {
+	name, err := codec.Parse(cfg.Codec)
+	if err != nil {
+		return f, err
+	}
+	if name == "none" {
+		return f, nil
+	}
+	return codec.WrapFabric(f, codec.Config{Name: name, MinSize: cfg.CodecMinSize})
 }
 
 // dispatch runs the configured algorithm on one PE.
