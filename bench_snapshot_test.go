@@ -107,12 +107,16 @@ func snapshotInputs(name string) (inputs [][][]byte, algo stringsort.Algorithm, 
 }
 
 // TestBenchSnapshotModelInvariance replays every Fig4/Fig5 cell of the
-// committed snapshot under every wire codec and requires the deterministic
-// model metrics — model-ms and bytes/str, rounded at the snapshot's print
-// precision — to match bit-for-bit: the codec layer must be invisible to
-// the paper's accounting. On the Fig4 cells it additionally requires the
-// compressing codecs to put strictly fewer bytes per string on the wire
-// than the raw model volume (the subsystem's reason to exist).
+// committed snapshot under every wire codec AND under the streaming merge
+// seam, and requires the deterministic model metrics — model-ms and
+// bytes/str, rounded at the snapshot's print precision — to match
+// bit-for-bit: neither the codec layer nor the streaming Step-3→Step-4
+// seam may be visible to the paper's accounting. On the Fig4 cells it
+// additionally requires the compressing codecs to put strictly fewer
+// bytes per string on the wire than the raw model volume (the codec
+// subsystem's reason to exist), and — see
+// TestBenchSnapshotStreamingOverlapNoRegression — the streaming seam to
+// hide at least as much communication as the eager split-phase seam.
 func TestBenchSnapshotModelInvariance(t *testing.T) {
 	raw, err := os.ReadFile(benchSnapshot)
 	if err != nil {
@@ -131,24 +135,34 @@ func TestBenchSnapshotModelInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", row.Name, err)
 		}
-		for _, codec := range []string{"none", "flate", "lcp"} {
+		for _, mode := range []struct {
+			label     string
+			codec     string
+			streaming bool
+		}{
+			{"codec=none", "none", false},
+			{"codec=flate", "flate", false},
+			{"codec=lcp", "lcp", false},
+			{"merge=streaming", "none", true},
+		} {
 			res, err := stringsort.Sort(inputs, stringsort.Config{
-				Algorithm: algo, Seed: benchSeed, Codec: codec,
+				Algorithm: algo, Seed: benchSeed, Codec: mode.codec,
+				StreamingMerge: mode.streaming,
 			})
 			if err != nil {
-				t.Fatalf("%s codec=%s: %v", row.Name, codec, err)
+				t.Fatalf("%s %s: %v", row.Name, mode.label, err)
 			}
 			st := res.Stats
 			if got := benchRound(st.ModelTime * 1e3); got != row.ModelMS {
-				t.Errorf("%s codec=%s: model-ms %v, snapshot %v", row.Name, codec, got, row.ModelMS)
+				t.Errorf("%s %s: model-ms %v, snapshot %v", row.Name, mode.label, got, row.ModelMS)
 			}
 			if got := benchRound(st.BytesPerString); got != row.BytesPerStr {
-				t.Errorf("%s codec=%s: bytes/str %v, snapshot %v", row.Name, codec, got, row.BytesPerStr)
+				t.Errorf("%s %s: bytes/str %v, snapshot %v", row.Name, mode.label, got, row.BytesPerStr)
 			}
-			if strings.HasPrefix(row.Name, "BenchmarkFig4") && codec != "none" {
+			if strings.HasPrefix(row.Name, "BenchmarkFig4") && mode.codec != "none" {
 				if st.WireBytesPerString >= st.BytesPerString {
-					t.Errorf("%s codec=%s: wire bytes/str %.2f not strictly below raw %.2f",
-						row.Name, codec, st.WireBytesPerString, st.BytesPerString)
+					t.Errorf("%s %s: wire bytes/str %.2f not strictly below raw %.2f",
+						row.Name, mode.label, st.WireBytesPerString, st.BytesPerString)
 				}
 			}
 		}
@@ -156,5 +170,60 @@ func TestBenchSnapshotModelInvariance(t *testing.T) {
 			matched++
 		}
 	}
-	t.Logf("%d/%d snapshot cells bit-identical under all codecs", matched, len(snap.Results))
+	t.Logf("%d/%d snapshot cells bit-identical under all codecs and the streaming merge", matched, len(snap.Results))
+}
+
+// TestBenchSnapshotStreamingOverlapNoRegression asserts the streaming
+// seam's reason to exist on the Fig4 cells: summed over the whole figure,
+// the streaming merge must hide at least as much communication under
+// compute (overlap-ms) as the eager split-phase seam — the loser tree
+// running during the exchange can only shrink the blocked time the
+// overlap credit subtracts. Overlap is a wall-clock measurement, so the
+// comparison is aggregated over all 30 cells and retried a few times
+// before failing: a single pathological scheduling of one run must not
+// flip the verdict.
+func TestBenchSnapshotStreamingOverlapNoRegression(t *testing.T) {
+	raw, err := os.ReadFile(benchSnapshot)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("parse %s: %v", benchSnapshot, err)
+	}
+	sums := func() (eager, streaming float64) {
+		for _, row := range snap.Results {
+			if !strings.HasPrefix(row.Name, "BenchmarkFig4") {
+				continue
+			}
+			inputs, algo, err := snapshotInputs(row.Name)
+			if err != nil {
+				t.Fatalf("%s: %v", row.Name, err)
+			}
+			for _, stream := range []bool{false, true} {
+				res, err := stringsort.Sort(inputs, stringsort.Config{
+					Algorithm: algo, Seed: benchSeed, StreamingMerge: stream,
+				})
+				if err != nil {
+					t.Fatalf("%s streaming=%v: %v", row.Name, stream, err)
+				}
+				if stream {
+					streaming += res.Stats.OverlapMS
+				} else {
+					eager += res.Stats.OverlapMS
+				}
+			}
+		}
+		return eager, streaming
+	}
+	var eager, streaming float64
+	for attempt := 0; attempt < 3; attempt++ {
+		eager, streaming = sums()
+		if streaming >= eager {
+			t.Logf("Fig4 overlap-ms: streaming %.3f >= eager %.3f (attempt %d)", streaming, eager, attempt+1)
+			return
+		}
+	}
+	t.Fatalf("streaming seam hid less communication than the eager split-phase seam "+
+		"on every attempt: %.3f vs %.3f overlap-ms summed over Fig4", streaming, eager)
 }

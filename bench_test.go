@@ -27,10 +27,19 @@ const benchSeed = 1
 // selected codec put on the fabric.
 var benchCodec = os.Getenv("DSS_BENCH_CODEC")
 
+// benchStreaming selects the streaming Step-4 front-end for every
+// benchmark (DSS_BENCH_MERGE=streaming). Like the codec axis, the model
+// columns are merge-invariant (pinned by the same snapshot test); the
+// overlap-ms column records what the seam actually hid.
+var benchStreaming = os.Getenv("DSS_BENCH_MERGE") == "streaming"
+
 func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 	b.Helper()
 	if cfg.Codec == "" {
 		cfg.Codec = benchCodec
+	}
+	if benchStreaming {
+		cfg.StreamingMerge = true
 	}
 	var st stringsort.Stats
 	for i := 0; i < b.N; i++ {

@@ -46,6 +46,12 @@ type options struct {
 	total  int
 	seed   int64
 	codec  string
+	// streaming selects the streaming Step-4 front-end (-merge). The model
+	// panels are merge-invariant by construction — the axis exists so
+	// wall-clock and overlap behavior can be compared between the seams on
+	// the full figure workloads. Like -codec it applies to the series-based
+	// figures.
+	streaming bool
 }
 
 func main() {
@@ -58,7 +64,13 @@ func main() {
 	flag.IntVar(&opt.total, "total", 30000, "total strings (strong scaling)")
 	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
 	flag.StringVar(&opt.codec, "codec", "none", "wire codec decorating the transport (none, flate, lcp); adds a wire-bytes panel")
+	mergeMode := flag.String("merge", "eager", "Step-4 front-end: eager or streaming (model panels are merge-invariant)")
 	flag.Parse()
+	var err error
+	if opt.streaming, err = stringsort.ParseMergeMode(*mergeMode); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	for _, part := range strings.Split(pesFlag, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(part))
@@ -108,12 +120,13 @@ func main() {
 
 // runOne sorts the given distributed input and returns (model time,
 // bytes/string, wire bytes/string, compression ratio).
-func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampling bool, codec string) (float64, float64, float64, float64) {
+func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampling bool, codec string, streaming bool) (float64, float64, float64, float64) {
 	res, err := stringsort.Sort(inputs, stringsort.Config{
-		Algorithm:    algo,
-		Seed:         seed,
-		CharSampling: charSampling,
-		Codec:        codec,
+		Algorithm:      algo,
+		Seed:           seed,
+		CharSampling:   charSampling,
+		Codec:          codec,
+		StreamingMerge: streaming,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v failed: %v\n", algo, err)
@@ -127,7 +140,7 @@ func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampl
 // the figure — plus, when a wire codec is selected, the wire-bytes and
 // compression-ratio panels (what actually crossed the fabric; the model
 // panels are codec-invariant).
-func series(title string, pes []int, gen func(pe, p int) [][]byte, seed uint64, algos []stringsort.Algorithm, codec string) {
+func series(title string, pes []int, gen func(pe, p int) [][]byte, seed uint64, algos []stringsort.Algorithm, codec string, streaming bool) {
 	fmt.Printf("\n=== %s ===\n", title)
 	times := make(map[stringsort.Algorithm][]float64)
 	vols := make(map[stringsort.Algorithm][]float64)
@@ -139,7 +152,7 @@ func series(title string, pes []int, gen func(pe, p int) [][]byte, seed uint64, 
 			inputs[pe] = gen(pe, p)
 		}
 		for _, algo := range algos {
-			t, v, w, r := runOne(inputs, algo, seed, false, codec)
+			t, v, w, r := runOne(inputs, algo, seed, false, codec, streaming)
 			times[algo] = append(times[algo], t)
 			vols[algo] = append(vols[algo], v)
 			wires[algo] = append(wires[algo], w)
@@ -181,7 +194,7 @@ func figure4(opt options) {
 			r, opt.nPerPE, opt.length)
 		series(title, opt.pes, func(pe, p int) [][]byte {
 			return input.DN(cfg, pe, p)
-		}, uint64(opt.seed), stringsort.Algorithms, opt.codec)
+		}, uint64(opt.seed), stringsort.Algorithms, opt.codec, opt.streaming)
 	}
 }
 
@@ -194,7 +207,7 @@ func figure5CC(opt options) {
 		return input.CommonCrawlLike(input.CCConfig{
 			LinesPerPE: opt.total / p, Seed: opt.seed,
 		}, pe, p)
-	}, uint64(opt.seed), stringsort.Algorithms, opt.codec)
+	}, uint64(opt.seed), stringsort.Algorithms, opt.codec, opt.streaming)
 }
 
 // figure5DNA reproduces the DNAREADS strong scaling experiment.
@@ -204,7 +217,7 @@ func figure5DNA(opt options) {
 		return input.DNAReads(input.DNAConfig{
 			ReadsPerPE: opt.total / p, Seed: opt.seed,
 		}, pe, p)
-	}, uint64(opt.seed), stringsort.Algorithms, opt.codec)
+	}, uint64(opt.seed), stringsort.Algorithms, opt.codec, opt.streaming)
 }
 
 // suffixExperiment reproduces the Section VII-E suffix instance: all
@@ -220,7 +233,7 @@ func suffixExperiment(opt options) {
 	fmt.Printf("\n(suffix instance D/N = %.5f)\n", dn)
 	series(title, opt.pes, func(pe, p int) [][]byte {
 		return input.SuffixInstance(input.SuffixConfig{TextLen: textLen, Seed: opt.seed}, pe, p)
-	}, uint64(opt.seed), stringsort.Algorithms, opt.codec)
+	}, uint64(opt.seed), stringsort.Algorithms, opt.codec, opt.streaming)
 }
 
 // skewExperiment reproduces the Section VII-E skewed D/N instance,

@@ -17,7 +17,11 @@
 // incoming runs as they arrive, overlapping communication with compute
 // (reported as the overlap statistic). -exchange blocking restores the
 // bulk-synchronous seam; the deterministic statistics are identical in
-// both modes.
+// both modes. -merge streaming goes further: buckets ship as chunked
+// frames feeding incremental run readers and the Step-4 loser tree
+// starts on partially decoded runs, so merging begins before the last
+// frame arrives (the "merge lead" line); output and deterministic
+// statistics stay bit-identical to the eager merge.
 //
 // -codec decorates the transport with a wire codec (flate, or the
 // LCP-front-coding-aware lcp codec) that compresses frames above
@@ -26,7 +30,8 @@
 // bit-identical under every codec; the "wire bytes" line reports what
 // actually crossed the wire. All tuning flags (-algo, -seed,
 // -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
-// -codec, -codec-min, -validate) are shared verbatim with dss-worker.
+// -merge, -merge-chunk, -codec, -codec-min, -validate) are shared
+// verbatim with dss-worker.
 package main
 
 import (

@@ -23,7 +23,8 @@
 //
 // Flag parity with dss-sort: every tuning flag of dss-sort (-algo, -seed,
 // -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
-// -codec, -codec-min, -validate) is accepted here with identical semantics
+// -merge, -merge-chunk, -codec, -codec-min, -validate) is accepted here
+// with identical semantics
 // — both binaries register the same stringsort.RegisterTuningFlags set.
 // Launch every worker of one job with the same -codec: RunPE decorates the
 // endpoint with the wire codec, frames are compressed on the wire, and the

@@ -234,22 +234,27 @@ func (c *Comm) Recv(src, tag int) []byte {
 	return data
 }
 
-// sendAs / accountRecvAs are the single home of the deterministic volume
-// accounting, parameterized by the phase to bill: the blocking operations
-// bill the current phase, split-phase Pendings bill the phase captured at
-// post time. Keeping one copy is what guarantees both forms stay
-// bit-identical.
-func (c *Comm) sendAs(ph stats.Phase, dst, tag int, data []byte) {
+// accountSendAs / accountRecvAs are the single home of the deterministic
+// volume accounting, parameterized by the phase to bill: the blocking
+// operations bill the current phase, split-phase Pendings bill the phase
+// captured at post time, and the chunked exchange bills each bucket here
+// as ONE logical message before shipping its frames itself. Keeping one
+// copy is what guarantees all forms stay bit-identical.
+func (c *Comm) accountSendAs(ph stats.Phase, dst, n int) {
 	if dst != c.t.Rank() {
 		pc := &c.st.Phases[ph]
-		pc.BytesSent += int64(len(data))
+		pc.BytesSent += int64(n)
 		pc.Messages++
 		if c.wm == nil {
 			// No codec decorates the transport: every frame ships
 			// verbatim, so the wire volume IS the raw volume.
-			c.st.Wire[ph].Sent += int64(len(data))
+			c.st.Wire[ph].Sent += int64(n)
 		}
 	}
+}
+
+func (c *Comm) sendAs(ph stats.Phase, dst, tag int, data []byte) {
+	c.accountSendAs(ph, dst, len(data))
 	c.t.Send(dst, tag, data)
 }
 

@@ -10,8 +10,9 @@ import (
 // countersPerPE is the flattened size of one PE's phase counters: the four
 // deterministic counters, the wall span and overlap measurements of the
 // overlap model, and the two wire-byte counters of the codec layer, per
-// phase.
-const countersPerPE = int(stats.NumPhases) * 8
+// phase — plus the two per-PE milestone timestamps of the streaming merge
+// seam.
+const countersPerPE = int(stats.NumPhases)*8 + 2
 
 // AllgatherReport exchanges every PE's accounting snapshot and returns a
 // machine-wide report, identical on every member — the SPMD counterpart of
@@ -36,6 +37,8 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 		vals[int(ph)*8+6] = uint64(snap.Wire[ph].Sent)
 		vals[int(ph)*8+7] = uint64(snap.Wire[ph].Recv)
 	}
+	vals[int(stats.NumPhases)*8+0] = uint64(snap.MergeStartNS)
+	vals[int(stats.NumPhases)*8+1] = uint64(snap.ExchangeDoneNS)
 	g := NewGroup(c, WorldRanks(c.P()), gid)
 	parts := g.Allgatherv(wire.EncodeUint64s(vals))
 	pes := make([]*stats.PE, len(parts))
@@ -59,6 +62,8 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 				Recv: int64(vs[int(ph)*8+7]),
 			}
 		}
+		pe.MergeStartNS = int64(vs[int(stats.NumPhases)*8+0])
+		pe.ExchangeDoneNS = int64(vs[int(stats.NumPhases)*8+1])
 		pes[i] = pe
 	}
 	c.Release(parts...)

@@ -1,0 +1,141 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+
+	"dss/internal/stats"
+)
+
+// TestIAlltoallvChunkedMatchesEager is the accounting differential of the
+// chunked exchange: reassembling every member's fragments must reproduce
+// the eager Alltoallv payloads byte for byte, and the deterministic
+// per-phase counters — one logical message and the full bucket volume per
+// destination, billed to the posting phase — must be bit-identical to the
+// eager collective, for every PE count and across chunk sizes including
+// degenerate single-byte frames.
+func TestIAlltoallvChunkedMatchesEager(t *testing.T) {
+	for _, p := range ps {
+		mRef := New(p)
+		refOut := make([][][]byte, p)
+		if err := mRef.Run(func(c *Comm) error {
+			c.SetPhase(stats.PhaseExchange)
+			refOut[c.Rank()] = c.World().Alltoallv(alltoallParts(c.Rank(), p))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		refStats := phaseCounters(mRef)
+
+		for _, chunk := range []int{1, 7, 64, 0 /* default */} {
+			m := New(p)
+			out := make([][][]byte, p)
+			if err := m.Run(func(c *Comm) error {
+				c.SetPhase(stats.PhaseExchange)
+				pd := c.World().IAlltoallvChunked(alltoallParts(c.Rank(), p), chunk)
+				// Drain while in a DIFFERENT phase: receive volume must
+				// still bill to the posting phase, like every Pending.
+				c.SetPhase(stats.PhaseMerge)
+				buckets := make([][]byte, p)
+				seen := make([]bool, p)
+				for {
+					idx, frag, frame, last, ok := pd.RecvChunk()
+					if !ok {
+						break
+					}
+					buckets[idx] = append(buckets[idx], frag...)
+					c.Release(frame)
+					if last {
+						if seen[idx] {
+							t.Errorf("p=%d chunk=%d: member %d finished twice", p, chunk, idx)
+						}
+						seen[idx] = true
+					}
+				}
+				for idx, done := range seen {
+					if !done {
+						t.Errorf("p=%d chunk=%d: member %d never finished", p, chunk, idx)
+					}
+				}
+				out[c.Rank()] = buckets
+				if c.StatsPE().ExchangeDoneNS == 0 {
+					t.Errorf("p=%d chunk=%d: exchange-done milestone not stamped", p, chunk)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for rank := 0; rank < p; rank++ {
+				for src := 0; src < p; src++ {
+					if !bytes.Equal(refOut[rank][src], out[rank][src]) {
+						t.Fatalf("p=%d chunk=%d: rank %d bucket from %d differs", p, chunk, rank, src)
+					}
+				}
+			}
+			got := phaseCounters(m)
+			for rank := 0; rank < p; rank++ {
+				if got[rank] != refStats[rank] {
+					t.Fatalf("p=%d chunk=%d: rank %d counters differ:\neager:   %+v\nchunked: %+v",
+						p, chunk, rank, refStats[rank], got[rank])
+				}
+			}
+		}
+	}
+}
+
+// TestIAlltoallvChunkedFrameSequence pins the per-member fragment protocol:
+// within one member, fragments surface in send order with exactly one
+// last-marked frame, the self part arrives first as a single fragment, and
+// empty buckets still deliver their (empty, last) completion fragment.
+func TestIAlltoallvChunkedFrameSequence(t *testing.T) {
+	const p = 4
+	m := New(p)
+	if err := m.Run(func(c *Comm) error {
+		parts := make([][]byte, p)
+		for dst := range parts {
+			if dst%2 == 0 {
+				parts[dst] = nil // empty buckets complete too
+			} else {
+				parts[dst] = bytes.Repeat([]byte{byte(c.Rank()*16 + dst)}, 10)
+			}
+		}
+		pd := c.World().IAlltoallvChunked(parts, 3)
+		// What rank r receives from member s is s's parts[r]: empty when r
+		// is even, 10 bytes (4 three-byte frames) when r is odd.
+		recvEmpty := c.Rank()%2 == 0
+		first := true
+		counts := make([]int, p)
+		for {
+			idx, frag, _, last, ok := pd.RecvChunk()
+			if !ok {
+				break
+			}
+			if first {
+				if idx != c.Rank() || !last {
+					t.Errorf("rank %d: first fragment was (%d, last=%v), want own part complete", c.Rank(), idx, last)
+				}
+				first = false
+			}
+			counts[idx]++
+			if recvEmpty && (len(frag) != 0 || counts[idx] != 1) {
+				t.Errorf("rank %d: empty bucket from %d delivered %d bytes in fragment %d",
+					c.Rank(), idx, len(frag), counts[idx])
+			}
+		}
+		if _, _, _, _, ok := pd.RecvChunk(); ok {
+			t.Errorf("rank %d: RecvChunk after completion reported a fragment", c.Rank())
+		}
+		for idx, n := range counts {
+			want := 4 // 10 payload bytes at 3-byte frames
+			if recvEmpty || idx == c.Rank() {
+				want = 1 // empty buckets and the self part are one fragment
+			}
+			if n != want {
+				t.Errorf("rank %d: member %d delivered %d fragments, want %d", c.Rank(), idx, n, want)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

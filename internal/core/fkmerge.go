@@ -17,6 +17,11 @@ type FKOptions struct {
 	// instead of the default split-phase decode-on-arrival one (see
 	// MSOptions.BlockingExchange).
 	BlockingExchange bool
+	// StreamingMerge starts the Step-4 loser tree on partially decoded
+	// runs over a chunked exchange (see MSOptions.StreamingMerge).
+	StreamingMerge bool
+	// StreamChunk bounds the streaming frame payload (0 = default).
+	StreamChunk int
 }
 
 // FKMerge is the distributed multiway string mergesort of Fischer and
@@ -67,19 +72,25 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 		arena = wire.AppendStrings(arena, local[off[dst]:off[dst+1]])
 		parts[dst] = arena[start:len(arena):len(arena)]
 	}
-	// Post the exchange and decode each run on arrival (DecodeStrings
-	// copies into its own backing).
-	runs := make([]merge.Sequence, p)
-	exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
-		rs, err := wire.DecodeStrings(msg)
-		if err != nil {
-			panic("fkmerge: corrupt run: " + err.Error())
-		}
-		runs[src] = merge.Sequence{Strings: rs}
-	})
-
-	// Step 4: ordinary loser tree merge.
-	out, mwork := merge.Merge(runs)
+	// Step 4: ordinary loser tree merge — streaming (the tree pulls heads
+	// off partially decoded runs) or eager (decode each run whole on
+	// arrival; DecodeStrings copies into its own backing).
+	var out merge.Sequence
+	var mwork int64
+	if opt.StreamingMerge {
+		rs := streamRuns(c, g, parts, wire.RunStrings, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)
+		out, mwork = merge.MergeStream(rs.sources(), merge.StreamOptions{OnFirstOutput: markMergeStart(c)})
+	} else {
+		runs := make([]merge.Sequence, p)
+		exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
+			rs, err := wire.DecodeStrings(msg)
+			if err != nil {
+				panic("fkmerge: corrupt run: " + err.Error())
+			}
+			runs[src] = merge.Sequence{Strings: rs}
+		})
+		out, mwork = merge.Merge(runs)
+	}
 	c.AddWork(mwork)
 	c.SetPhase(stats.PhaseOther)
 	return Result{Strings: out.Strings}

@@ -30,6 +30,14 @@ type HQOptions struct {
 	// initial random-placement all-to-all instead of the default
 	// split-phase decode-on-arrival one (see MSOptions.BlockingExchange).
 	BlockingExchange bool
+	// StreamingMerge routes the random-placement all-to-all through the
+	// chunked exchange and incremental readers: each (string, tag) pair
+	// decodes the moment its bytes land instead of when its whole payload
+	// has (hQuick has no Step-4 merge, so this is the streaming seam's
+	// reach here). Results and statistics are bit-identical.
+	StreamingMerge bool
+	// StreamChunk bounds the streaming frame payload (0 = default).
+	StreamChunk int
 }
 
 // HQuick sorts the distributed string array with hypercube quicksort
@@ -81,23 +89,31 @@ func HQuick(c *comm.Comm, ss [][]byte, opt HQOptions) Result {
 		for dst := 0; dst < p; dst++ {
 			parts[dst] = encodeTagged(strings, uids, perDest[dst])
 		}
-		// Post the exchange and decode each part as it arrives, into
-		// per-source slots: the concatenation below stays in rank order, so
-		// the string sequence feeding the pivot recursion is independent of
-		// arrival timing.
-		perS := make([][][]byte, p)
-		perU := make([][]uint64, p)
-		exchangeRuns(c, world, parts, opt.BlockingExchange, c.Phase(), func(src int, msg []byte) {
-			s, u, err := decodeTagged(msg)
-			if err != nil {
-				panic("hquick: corrupt redistribution payload")
+		if opt.StreamingMerge {
+			// Chunked transfer into incremental readers: pairs decode as
+			// their bytes arrive, and the rank-ordered pull keeps the
+			// concatenation independent of arrival timing.
+			rs := streamRuns(c, world, parts, wire.RunTagged, opt.BlockingExchange, opt.StreamChunk, c.Phase())
+			strings, uids = rs.drainTagged()
+		} else {
+			// Post the exchange and decode each part as it arrives, into
+			// per-source slots: the concatenation below stays in rank
+			// order, so the string sequence feeding the pivot recursion is
+			// independent of arrival timing.
+			perS := make([][][]byte, p)
+			perU := make([][]uint64, p)
+			exchangeRuns(c, world, parts, opt.BlockingExchange, c.Phase(), func(src int, msg []byte) {
+				s, u, err := decodeTagged(msg)
+				if err != nil {
+					panic("hquick: corrupt redistribution payload")
+				}
+				perS[src], perU[src] = s, u
+			})
+			strings, uids = nil, nil
+			for src := 0; src < p; src++ {
+				strings = append(strings, perS[src]...)
+				uids = append(uids, perU[src]...)
 			}
-			perS[src], perU[src] = s, u
-		})
-		strings, uids = nil, nil
-		for src := 0; src < p; src++ {
-			strings = append(strings, perS[src]...)
-			uids = append(uids, perU[src]...)
 		}
 	}
 

@@ -46,6 +46,20 @@ type MSOptions struct {
 	// decodes each run on arrival. Deterministic statistics are identical
 	// either way; blocking mode exists for differential testing.
 	BlockingExchange bool
+	// StreamingMerge goes beyond the split-phase seam: Step 3 ships each
+	// bucket as a chunked transfer and Step 4's loser tree starts on
+	// partially decoded runs, pulling heads on demand — merging begins
+	// before the last frame lands. Output and deterministic statistics are
+	// bit-identical to the eager seams. Combined with BlockingExchange the
+	// chunked machinery runs but every fragment is drained before merging
+	// (the differential reference cell). The one configuration without a
+	// streaming wire format — LCPMerge without LCPCompression, which no
+	// public configuration produces — falls back to the eager seam.
+	StreamingMerge bool
+	// StreamChunk bounds the streaming frame payload in bytes (0 = the
+	// comm default). Small values force many frames; tests use them to
+	// exercise resume-mid-frame paths.
+	StreamChunk int
 }
 
 // DefaultMS returns the full Algorithm MS configuration: LCP compression,
@@ -116,9 +130,11 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 	if !opt.CentralSampleSort {
 		seed := opt.Seed
 		blocking := opt.BlockingExchange
+		streaming, chunk := opt.StreamingMerge, opt.StreamChunk
 		popt.DistSort = func(cc *comm.Comm, samples [][]byte, gid int) [][]byte {
 			return HQuick(cc, samples, HQOptions{
 				GroupID: gid, Seed: seed, BlockingExchange: blocking,
+				StreamingMerge: streaming, StreamChunk: chunk,
 			}).Strings
 		}
 	}
@@ -174,40 +190,57 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 		}
 		parts[dst] = arena[start:len(arena):len(arena)]
 	}
-	// Post the exchange, then decode each incoming run as soon as it lands
-	// (the arena decoders copy everything out of the message): the phase
-	// switches to merging while the stragglers are still in flight.
-	runs := make([]merge.Sequence, p)
-	exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
-		switch {
-		case opt.LCPCompression:
-			rs, rl, err := wire.DecodeStringsLCP(msg)
-			if err != nil {
-				panic("mergesort: corrupt compressed run: " + err.Error())
-			}
-			runs[src] = merge.Sequence{Strings: rs, LCPs: rl}
-		case opt.LCPMerge:
-			rs, rl, err := decodeStringsWithLCPs(msg)
-			if err != nil {
-				panic("mergesort: corrupt run: " + err.Error())
-			}
-			runs[src] = merge.Sequence{Strings: rs, LCPs: rl}
-		default:
-			rs, err := wire.DecodeStrings(msg)
-			if err != nil {
-				panic("mergesort: corrupt run: " + err.Error())
-			}
-			runs[src] = merge.Sequence{Strings: rs}
-		}
-	})
-
-	// Step 4: multiway merge of the fully decoded runs.
+	// Streaming seam: ship the buckets chunked and let the Step-4 loser
+	// tree pull heads off partially decoded runs — merging starts before
+	// the last frame lands. The composite LCPMerge-without-compression
+	// layout has no streaming reader; that configuration (unreachable from
+	// the public API) keeps the eager seam.
 	var out merge.Sequence
 	var mwork int64
-	if opt.LCPMerge {
-		out, mwork = merge.MergeLCP(runs)
+	if opt.StreamingMerge && !(opt.LCPMerge && !opt.LCPCompression) {
+		format := wire.RunStrings
+		if opt.LCPCompression {
+			format = wire.RunStringsLCP
+		}
+		rs := streamRuns(c, g, parts, format, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)
+		out, mwork = merge.MergeStream(rs.sources(), merge.StreamOptions{
+			LCP: opt.LCPMerge, OnFirstOutput: markMergeStart(c),
+		})
 	} else {
-		out, mwork = merge.Merge(runs)
+		// Eager seam: post the exchange, then decode each incoming run as
+		// soon as it lands WHOLE (the arena decoders copy everything out of
+		// the message); the phase switches to merging while the stragglers
+		// are still in flight.
+		runs := make([]merge.Sequence, p)
+		exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
+			switch {
+			case opt.LCPCompression:
+				rs, rl, err := wire.DecodeStringsLCP(msg)
+				if err != nil {
+					panic("mergesort: corrupt compressed run: " + err.Error())
+				}
+				runs[src] = merge.Sequence{Strings: rs, LCPs: rl}
+			case opt.LCPMerge:
+				rs, rl, err := decodeStringsWithLCPs(msg)
+				if err != nil {
+					panic("mergesort: corrupt run: " + err.Error())
+				}
+				runs[src] = merge.Sequence{Strings: rs, LCPs: rl}
+			default:
+				rs, err := wire.DecodeStrings(msg)
+				if err != nil {
+					panic("mergesort: corrupt run: " + err.Error())
+				}
+				runs[src] = merge.Sequence{Strings: rs}
+			}
+		})
+
+		// Step 4: multiway merge of the fully decoded runs.
+		if opt.LCPMerge {
+			out, mwork = merge.MergeLCP(runs)
+		} else {
+			out, mwork = merge.Merge(runs)
+		}
 	}
 	c.AddWork(mwork)
 	c.SetPhase(stats.PhaseOther)

@@ -48,6 +48,15 @@ type PDMSOptions struct {
 	// instead of the default split-phase decode-on-arrival one (see
 	// MSOptions.BlockingExchange).
 	BlockingExchange bool
+	// StreamingMerge starts the Step-4 loser tree on partially decoded
+	// prefix runs over a chunked exchange (see MSOptions.StreamingMerge).
+	// A PDMS head becomes available once its origin has decoded too — the
+	// origins trail the prefixes within one bucket, so streaming's win here
+	// is bounded by the composite layout, but output and statistics stay
+	// bit-identical.
+	StreamingMerge bool
+	// StreamChunk bounds the streaming frame payload (0 = default).
+	StreamChunk int
 }
 
 // DefaultPDMS returns the evaluation configuration of algorithm PDMS:
@@ -161,6 +170,7 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 		DistSort: func(cc *comm.Comm, samples [][]byte, gid int) [][]byte {
 			return HQuick(cc, samples, HQOptions{
 				GroupID: gid, Seed: seed, BlockingExchange: opt.BlockingExchange,
+				StreamingMerge: opt.StreamingMerge, StreamChunk: opt.StreamChunk,
 			}).Strings
 		},
 	}
@@ -206,29 +216,38 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 		}
 		parts[dst] = arena[start:len(arena):len(arena)]
 	}
-	// Post the exchange and decode each prefix run on arrival while the
-	// rest is still in flight (the decoders copy everything out).
-	runs := make([]merge.Sequence, p)
-	exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
-		r := wire.NewReader(msg)
-		blob, err1 := r.BytesPrefixed()
-		oblob, err2 := r.BytesPrefixed()
-		if err1 != nil || err2 != nil {
-			panic("pdms: corrupt exchange message")
-		}
-		rs, rl, err := wire.DecodeStringsLCP(blob)
-		if err != nil {
-			panic("pdms: corrupt prefix run: " + err.Error())
-		}
-		ro, err := wire.DecodeUint64s(oblob)
-		if err != nil || len(ro) != len(rs) {
-			panic("pdms: corrupt origin run")
-		}
-		runs[src] = merge.Sequence{Strings: rs, LCPs: rl, Sats: ro}
-	})
-
-	// Step 4: LCP-aware multiway merge of the fully decoded prefix runs.
-	out, mwork := merge.MergeLCP(runs)
+	// Step 4: LCP-aware multiway merge of the prefix runs — streaming (the
+	// tree pulls (prefix, origin) heads off partially decoded runs) or
+	// eager (decode each run whole on arrival; the decoders copy
+	// everything out).
+	var out merge.Sequence
+	var mwork int64
+	if opt.StreamingMerge {
+		rs := streamRuns(c, g, parts, wire.RunPrefixOrigins, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)
+		out, mwork = merge.MergeStream(rs.sources(), merge.StreamOptions{
+			LCP: true, Sats: true, OnFirstOutput: markMergeStart(c),
+		})
+	} else {
+		runs := make([]merge.Sequence, p)
+		exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
+			r := wire.NewReader(msg)
+			blob, err1 := r.BytesPrefixed()
+			oblob, err2 := r.BytesPrefixed()
+			if err1 != nil || err2 != nil {
+				panic("pdms: corrupt exchange message")
+			}
+			rs, rl, err := wire.DecodeStringsLCP(blob)
+			if err != nil {
+				panic("pdms: corrupt prefix run: " + err.Error())
+			}
+			ro, err := wire.DecodeUint64s(oblob)
+			if err != nil || len(ro) != len(rs) {
+				panic("pdms: corrupt origin run")
+			}
+			runs[src] = merge.Sequence{Strings: rs, LCPs: rl, Sats: ro}
+		})
+		out, mwork = merge.MergeLCP(runs)
+	}
 	c.AddWork(mwork)
 	origins := make([]Origin, len(out.Sats))
 	for i, u := range out.Sats {

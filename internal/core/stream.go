@@ -1,0 +1,161 @@
+// The streaming Step-3→Step-4 seam: the chunked exchange feeding
+// incremental run readers, exposed to the loser tree as pull-based merge
+// Sources. Where exchangeRuns (core.go) decodes each incoming run WHOLE on
+// arrival, streamRuns lets Step 4 begin once the first head of every run
+// is decodable: the merge pulls heads on demand and, whenever the one head
+// it needs next has not been decoded yet, drains more frames of the
+// exchange — feeding whichever run they belong to — until it has. Merging
+// therefore starts before the last frame lands, and the tail of the
+// exchange hides under real merge work instead of only under decode work.
+//
+// The deterministic statistics are identical to the eager seam by
+// construction: the chunked exchange bills each bucket as one logical
+// message (comm/stream.go), the readers decode byte-identical runs
+// (wire/stream.go), and the streaming loser tree replays the eager tree's
+// exact comparison sequence (merge/stream.go). The differential suite in
+// stringsort asserts all of it end to end, for every algorithm, transport
+// and seam mode.
+package core
+
+import (
+	"time"
+
+	"dss/internal/comm"
+	"dss/internal/merge"
+	"dss/internal/stats"
+	"dss/internal/wire"
+)
+
+// runStream couples a chunked exchange in flight with one incremental run
+// reader per source. It is confined to the PE goroutine, like the Comm.
+type runStream struct {
+	c       *comm.Comm
+	pd      *comm.ChunkPending
+	readers []*wire.RunReader
+}
+
+// streamRuns executes the streaming variant of the Step-3 seam: it posts
+// every outgoing bucket as a chunked transfer, switches the accounting
+// phase to next, and returns one pull-based source per group member. In
+// blocking mode (the bulk-synchronous differential reference) every
+// fragment is drained and decoded BEFORE the phase switch, so the merge
+// never blocks — reproducing the eager blocking seam's schedule with the
+// streaming decode machinery.
+func streamRuns(c *comm.Comm, g *comm.Group, parts [][]byte, format wire.RunFormat, blocking bool, chunk int, next stats.Phase) *runStream {
+	rs := &runStream{c: c, readers: make([]*wire.RunReader, len(parts))}
+	for i := range rs.readers {
+		rs.readers[i] = wire.NewRunReader(format)
+	}
+	rs.pd = g.IAlltoallvChunked(parts, chunk)
+	if blocking {
+		// The bulk-synchronous reference hides no communication and must
+		// report the same zero overlap (and no merge lead) as the eager
+		// blocking seam.
+		rs.pd.NoOverlapCredit()
+		for rs.drainOne() {
+		}
+	}
+	c.SetPhase(next)
+	return rs
+}
+
+// drainOne receives the next fragment of the exchange and feeds it to its
+// run's reader (readers copy, so the backing transport frame is released
+// immediately). false reports that every bucket has been fully delivered.
+func (rs *runStream) drainOne() bool {
+	idx, chunk, frame, last, ok := rs.pd.RecvChunk()
+	if !ok {
+		return false
+	}
+	rs.readers[idx].Feed(chunk)
+	rs.c.Release(frame)
+	if last {
+		rs.readers[idx].Finish()
+	}
+	return true
+}
+
+// sources returns the pull-based views of all runs, in group rank order.
+func (rs *runStream) sources() []merge.Source {
+	out := make([]merge.Source, len(rs.readers))
+	for i, r := range rs.readers {
+		out[i] = &streamSource{rs: rs, r: r}
+	}
+	return out
+}
+
+// streamSource adapts one run's reader to merge.Source. Heads obey the
+// merge aliasing contract because the reader decodes into append-only
+// arenas that never alias (released) transport buffers.
+type streamSource struct {
+	rs  *runStream
+	r   *wire.RunReader
+	cur wire.Item
+	has bool
+	eof bool
+}
+
+// Head returns the run's current head, draining exchange frames until it
+// is decodable; ok=false reports the run exhausted.
+func (s *streamSource) Head() ([]byte, bool) {
+	for !s.has && !s.eof {
+		it, ok, err := s.r.Next()
+		switch {
+		case err != nil:
+			panic("core: corrupt streamed run: " + err.Error())
+		case ok:
+			s.cur, s.has = it, true
+		case s.r.Done():
+			s.eof = true
+		default:
+			// The head is not decodable yet: pull the next frame of the
+			// exchange (it may belong to any run). When everything has
+			// been delivered the reader is finished, and the next Next
+			// reports either completion or the truncation error.
+			s.rs.drainOne()
+		}
+	}
+	if s.eof {
+		return nil, false
+	}
+	return s.cur.S, true
+}
+
+// HeadLCP returns the current head's LCP with the run's previous string.
+func (s *streamSource) HeadLCP() int32 { return s.cur.LCP }
+
+// HeadSat returns the current head's satellite word (hQuick tag or PDMS
+// origin).
+func (s *streamSource) HeadSat() uint64 { return s.cur.Sat }
+
+// Advance consumes the current head.
+func (s *streamSource) Advance() { s.has = false }
+
+// markMergeStart returns the merge's first-output hook: it stamps the PE's
+// merge-start milestone, which the overlap reporting compares against the
+// exchange-done stamp to show merging began while frames were in flight.
+func markMergeStart(c *comm.Comm) func() {
+	return func() { c.StatsPE().MergeStartNS = time.Now().UnixNano() }
+}
+
+// drainTagged pulls every (string, tag) pair of all runs in rank order —
+// hQuick's streaming counterpart of decode-then-concatenate: fragments
+// still decode incrementally as they arrive (pulling run i drains frames
+// of every run), and the concatenation stays in rank order, independent of
+// arrival timing.
+func (rs *runStream) drainTagged() ([][]byte, []uint64) {
+	var ss [][]byte
+	var us []uint64
+	for _, src := range rs.sources() {
+		for {
+			s, ok := src.Head()
+			if !ok {
+				break
+			}
+			ss = append(ss, s)
+			us = append(us, src.HeadSat())
+			src.Advance()
+		}
+	}
+	return ss, us
+}

@@ -61,10 +61,11 @@ func (t *tree) head(s int) []byte {
 	return t.seqs[s].Strings[t.pos[s]]
 }
 
-// lessPlain compares stream heads with full comparisons; nil is +∞ and
-// ties break toward the lower stream index.
-func (t *tree) lessPlain(a, b int) bool {
-	sa, sb := t.head(a), t.head(b)
+// lessHeadsPlain compares stream heads with full comparisons; nil is +∞
+// and ties break toward the lower stream index. Shared verbatim between
+// the eager and streaming trees so the comparison sequences — and with
+// them the work counts — cannot drift apart.
+func lessHeadsPlain(sa, sb []byte, a, b int, work *int64) bool {
 	switch {
 	case sa == nil && sb == nil:
 		return a < b
@@ -74,21 +75,21 @@ func (t *tree) lessPlain(a, b int) bool {
 		return true
 	}
 	cmp, lcp := strutil.CompareLCP(sa, sb, 0)
-	t.work += int64(lcp + 1)
+	*work += int64(lcp + 1)
 	if cmp == 0 {
 		return a < b
 	}
 	return cmp < 0
 }
 
-// lessLCP compares stream heads using the LCP-compare rule: both heads are
-// ≥ the last output w and curH[s] = LCP(head(s), w), so if the curH values
-// differ the head with the longer shared prefix is smaller, without looking
-// at a single character. On equality it compares from the shared prefix and
-// updates the loser's curH to LCP(a, b) so the invariant (curH of a node's
-// loser = LCP with the winner that passed the node) is maintained.
-func (t *tree) lessLCP(a, b int) bool {
-	sa, sb := t.head(a), t.head(b)
+// lessHeadsLCP compares stream heads using the LCP-compare rule: both
+// heads are ≥ the last output w and curH[s] = LCP(head(s), w), so if the
+// curH values differ the head with the longer shared prefix is smaller,
+// without looking at a single character. On equality it compares from the
+// shared prefix and updates the loser's curH to LCP(a, b) so the invariant
+// (curH of a node's loser = LCP with the winner that passed the node) is
+// maintained. Shared between the eager and streaming trees.
+func lessHeadsLCP(sa, sb []byte, a, b int, curH []int32, work *int64) bool {
 	switch {
 	case sa == nil && sb == nil:
 		return a < b
@@ -97,7 +98,7 @@ func (t *tree) lessLCP(a, b int) bool {
 	case sb == nil:
 		return true
 	}
-	ha, hb := t.curH[a], t.curH[b]
+	ha, hb := curH[a], curH[b]
 	switch {
 	case ha > hb:
 		// a shares more with w: a < b, and LCP(a,b) = hb = curH[b]. b is
@@ -107,21 +108,21 @@ func (t *tree) lessLCP(a, b int) bool {
 		return false
 	default:
 		cmp, lcp := strutil.CompareLCP(sa, sb, int(ha))
-		t.work += int64(lcp - int(ha) + 1)
+		*work += int64(lcp - int(ha) + 1)
 		if cmp < 0 || (cmp == 0 && a < b) {
-			t.curH[b] = int32(lcp) // b loses to a
+			curH[b] = int32(lcp) // b loses to a
 			return true
 		}
-		t.curH[a] = int32(lcp) // a loses to b
+		curH[a] = int32(lcp) // a loses to b
 		return false
 	}
 }
 
 func (t *tree) less(a, b int) bool {
 	if t.useLCP {
-		return t.lessLCP(a, b)
+		return lessHeadsLCP(t.head(a), t.head(b), a, b, t.curH, &t.work)
 	}
-	return t.lessPlain(a, b)
+	return lessHeadsPlain(t.head(a), t.head(b), a, b, &t.work)
 }
 
 // initNode plays the initial tournament of the subtree rooted at node and

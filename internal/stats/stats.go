@@ -109,6 +109,15 @@ type PE struct {
 	// span from posting to the last drained payload minus the time the PE
 	// actually spent blocked waiting on it. Zero for blocking collectives.
 	Overlap [NumPhases]int64
+	// MergeStartNS and ExchangeDoneNS are wall-clock milestones of the
+	// streaming merge seam, in UnixNano (0 = not recorded). MergeStartNS is
+	// stamped when the Step-4 loser tree emits its first merged string;
+	// ExchangeDoneNS when the LAST Step-3 payload of the chunked exchange
+	// arrived. MergeStartNS < ExchangeDoneNS is the streaming seam's
+	// headline: merging began while exchange frames were still in flight.
+	// Like Wall and Overlap these are measurements, never model inputs.
+	MergeStartNS   int64
+	ExchangeDoneNS int64
 }
 
 // TotalWire returns the sum of the PE's wire counters over all phases.
@@ -373,6 +382,24 @@ func (r *Report) TotalOverlapNS() int64 {
 		}
 	}
 	return o
+}
+
+// MaxMergeLeadNS returns the streaming seam's merge lead: the maximum over
+// PEs of how long before its last Step-3 arrival the PE's loser tree
+// emitted the first merged string. Positive means merging demonstrably
+// began while exchange frames were still in flight; 0 means the milestone
+// pair was not recorded (eager seam) or no PE got ahead of its exchange.
+func (r *Report) MaxMergeLeadNS() int64 {
+	var m int64
+	for _, pe := range r.PEs {
+		if pe.MergeStartNS == 0 || pe.ExchangeDoneNS == 0 {
+			continue
+		}
+		if lead := pe.ExchangeDoneNS - pe.MergeStartNS; lead > m {
+			m = lead
+		}
+	}
+	return m
 }
 
 // MaxOverlapNS returns the bottleneck overlap: the maximum over PEs of

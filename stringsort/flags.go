@@ -26,6 +26,8 @@ type TuningFlags struct {
 	TieBreak     *bool
 	RandomSample *bool
 	Exchange     *string
+	Merge        *string
+	MergeChunk   *int
 	Codec        *string
 	CodecMin     *int
 	Validate     *bool
@@ -44,6 +46,8 @@ func RegisterTuningFlags(fs *flag.FlagSet) *TuningFlags {
 		TieBreak:     fs.Bool("tiebreak", false, "partition by (string, origin) pairs to spread duplicates"),
 		RandomSample: fs.Bool("randomsample", false, "random instead of regular splitter samples"),
 		Exchange:     fs.String("exchange", "split", "Step-3 seam: split (overlap exchange with merge decode) or blocking (bulk-synchronous)"),
+		Merge:        fs.String("merge", "eager", "Step-4 front-end: eager (merge fully decoded runs) or streaming (loser tree starts on partially decoded runs)"),
+		MergeChunk:   fs.Int("merge-chunk", 0, "streaming frame payload bound in bytes (0 = default 8 KiB; only with -merge=streaming)"),
 		Codec:        fs.String("codec", "none", "wire codec decorating the transport: "+codec.Names()+" (model stats unaffected)"),
 		CodecMin:     fs.Int("codec-min", codec.DefaultMinSize, "frames smaller than this many bytes ship uncompressed"),
 		Validate:     fs.Bool("validate", false, "run the distributed verifier after sorting"),
@@ -61,6 +65,10 @@ func (tf *TuningFlags) Apply(cfg *Config) error {
 	if err != nil {
 		return err
 	}
+	streaming, err := ParseMergeMode(*tf.Merge)
+	if err != nil {
+		return err
+	}
 	codecName, err := codec.Parse(*tf.Codec)
 	if err != nil {
 		return err
@@ -75,8 +83,24 @@ func (tf *TuningFlags) Apply(cfg *Config) error {
 	cfg.TieBreak = *tf.TieBreak
 	cfg.RandomSampling = *tf.RandomSample
 	cfg.BlockingExchange = blocking
+	cfg.StreamingMerge = streaming
+	cfg.StreamChunk = *tf.MergeChunk
 	cfg.Validate = *tf.Validate
 	return nil
+}
+
+// ParseMergeMode resolves the -merge flag value: "eager" (merge fully
+// decoded runs, the default) or "streaming" (start the loser tree on
+// partially decoded runs), reported as Config.StreamingMerge.
+func ParseMergeMode(name string) (streaming bool, err error) {
+	switch name {
+	case "eager":
+		return false, nil
+	case "streaming", "stream":
+		return true, nil
+	default:
+		return false, fmt.Errorf("stringsort: unknown merge mode %q (have eager, streaming)", name)
+	}
 }
 
 // ParseExchangeMode resolves the -exchange flag value: "split" (the

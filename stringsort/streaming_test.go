@@ -1,0 +1,267 @@
+package stringsort
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dss/internal/input"
+	"dss/internal/transport"
+	"dss/internal/transport/local"
+)
+
+// TestStreamingMergeIdentity is the end-to-end differential suite of the
+// streaming merge: for every algorithm × transport × exchange seam × merge
+// front-end, the sorted output must be byte-identical and the
+// deterministic statistics (model time, bytes/string, per-phase counters,
+// work — everything the Fig4/Fig5 benches report) bit-identical to the
+// local/split/eager reference cell. The streaming cells run with a tiny
+// frame bound so every run is sliced into many fragments and the readers
+// resume mid-varint, mid-suffix and mid-section constantly.
+func TestStreamingMergeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(508))
+	inputs := genInputs(rng, 4, 140)
+	for _, algo := range Algorithms {
+		base := Config{Algorithm: algo, Seed: 37, Validate: true, Reconstruct: true}
+		ref, err := Sort(inputs, base)
+		if err != nil {
+			t.Fatalf("%v reference: %v", algo, err)
+		}
+		refOut := sortOutputs(ref)
+		for _, tr := range Transports {
+			for _, blocking := range []bool{false, true} {
+				for _, streaming := range []bool{false, true} {
+					cfg := base
+					cfg.Transport = tr
+					cfg.BlockingExchange = blocking
+					cfg.StreamingMerge = streaming
+					if streaming {
+						cfg.StreamChunk = 45 // force many fragments per run
+					}
+					cell := fmt.Sprintf("%v/%v/blocking=%v/streaming=%v", algo, tr, blocking, streaming)
+					res, err := Sort(inputs, cfg)
+					if err != nil {
+						t.Fatalf("%s: %v", cell, err)
+					}
+					if !equalOutputs(refOut, sortOutputs(res)) {
+						t.Fatalf("%s: output differs from the eager reference", cell)
+					}
+					if deterministic(res.Stats) != deterministic(ref.Stats) {
+						t.Fatalf("%s: deterministic statistics differ:\nref:  %+v\ncell: %+v",
+							cell, ref.Stats, res.Stats)
+					}
+					if !streaming && res.Stats.MergeLeadMS != 0 {
+						t.Fatalf("%s: eager seam reported a merge lead of %.3f ms; must be zero",
+							cell, res.Stats.MergeLeadMS)
+					}
+					// The bulk-synchronous reference cells hide nothing by
+					// definition — with either merge front-end they must
+					// report the exact zeros the eager blocking seam pins.
+					if blocking && (res.Stats.OverlapMS != 0 || res.Stats.MergeLeadMS != 0) {
+						t.Fatalf("%s: blocking seam reported overlap %.3f ms / lead %.3f ms; must be zero",
+							cell, res.Stats.OverlapMS, res.Stats.MergeLeadMS)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingMergeEmptyStrings is the regression test of the nil-head
+// bug: a run whose FIRST string is empty must not be mistaken for an
+// exhausted source (nil is the loser tree's +∞ sentinel — see the
+// merge.Source contract). Empty strings sort first, so they land exactly
+// at the head of rank 0's runs; the streaming seam must deliver every
+// string, byte- and stat-identical to the eager seam, for all algorithms.
+func TestStreamingMergeEmptyStrings(t *testing.T) {
+	inputs := [][][]byte{
+		{[]byte(""), []byte("b"), []byte("")},
+		{[]byte("a"), []byte(""), []byte("c")},
+		{[]byte(""), []byte("")},
+		{[]byte("d")},
+	}
+	for _, algo := range Algorithms {
+		base := Config{Algorithm: algo, Seed: 3, Validate: true, Reconstruct: true}
+		ref, err := Sort(inputs, base)
+		if err != nil {
+			t.Fatalf("%v eager: %v", algo, err)
+		}
+		if n := len(sortOutputs(ref)); n != 9 {
+			t.Fatalf("%v eager: %d strings, want 9", algo, n)
+		}
+		cfg := base
+		cfg.StreamingMerge = true
+		cfg.StreamChunk = 2
+		res, err := Sort(inputs, cfg)
+		if err != nil {
+			t.Fatalf("%v streaming: %v", algo, err)
+		}
+		if !equalOutputs(sortOutputs(ref), sortOutputs(res)) {
+			t.Fatalf("%v: streaming dropped or reordered strings on empty-string input", algo)
+		}
+		if deterministic(res.Stats) != deterministic(ref.Stats) {
+			t.Fatalf("%v: deterministic statistics differ on empty-string input", algo)
+		}
+	}
+}
+
+// TestStreamingMergeIdentityUnderCodecs pins the streaming seam below the
+// codec boundary: with a compressing wire codec the streaming cells must
+// still produce byte-identical output and bit-identical model statistics —
+// the chunked frames are codec-framed individually, which only the wire
+// counters may see.
+func TestStreamingMergeIdentityUnderCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(509))
+	inputs := genInputs(rng, 4, 120)
+	for _, algo := range []Algorithm{MS, PDMSGolomb} {
+		base := Config{Algorithm: algo, Seed: 41, Validate: true, Reconstruct: true}
+		ref, err := Sort(inputs, base)
+		if err != nil {
+			t.Fatalf("%v reference: %v", algo, err)
+		}
+		for _, codec := range []string{"flate", "lcp"} {
+			cfg := base
+			cfg.Codec = codec
+			cfg.StreamingMerge = true
+			cfg.StreamChunk = 64
+			res, err := Sort(inputs, cfg)
+			if err != nil {
+				t.Fatalf("%v streaming codec=%s: %v", algo, codec, err)
+			}
+			if !equalOutputs(sortOutputs(ref), sortOutputs(res)) {
+				t.Fatalf("%v streaming codec=%s: output differs", algo, codec)
+			}
+			if deterministicNoWire(res.Stats) != deterministicNoWire(ref.Stats) {
+				t.Fatalf("%v streaming codec=%s: model statistics differ:\nref:  %+v\ncell: %+v",
+					algo, codec, ref.Stats, res.Stats)
+			}
+		}
+	}
+}
+
+// jitterEndpoint decorates a transport endpoint with a randomized delay
+// before every Send, spacing out the frame arrivals like a congested
+// fabric would — the delivery-timing adversary of the streaming seam's
+// stress tests. Each endpoint owns its rng (Sends happen on the PE
+// goroutine only).
+type jitterEndpoint struct {
+	transport.Transport
+	rng *rand.Rand
+	max time.Duration
+}
+
+func (j *jitterEndpoint) Send(dst, tag int, data []byte) {
+	if j.max > 0 {
+		time.Sleep(time.Duration(j.rng.Int63n(int64(j.max))))
+	}
+	j.Transport.Send(dst, tag, data)
+}
+
+// runJittered executes an SPMD run over a jittered local fabric and
+// returns the per-rank results (identical Stats on every rank).
+func runJittered(t *testing.T, inputs [][][]byte, cfg Config, maxDelay time.Duration, seed int64) []*PERun {
+	t.Helper()
+	p := len(inputs)
+	f := local.New(p)
+	runs := make([]*PERun, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			ep := &jitterEndpoint{
+				Transport: f.Endpoint(rank),
+				rng:       rand.New(rand.NewSource(seed + int64(rank))),
+				max:       maxDelay,
+			}
+			runs[rank], errs[rank] = RunPE(ep, inputs[rank], cfg)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return runs
+}
+
+// TestStreamingMergeStartsBeforeLastFrame is the acceptance assertion of
+// the streaming seam: with -merge=streaming, merging demonstrably begins
+// BEFORE the final Step-3 frame arrives. The input skews the per-PE sizes
+// so one straggler posts its buckets last, and every Send is jittered so
+// that straggler's fragments arrive spaced out: the loser tree has the
+// first head of every run long before the straggler's bucket completes,
+// and the merge-start milestone must land ahead of the last arrival
+// (Stats.MergeLeadMS > 0). The sorted output must still match the eager
+// in-process reference exactly.
+func TestStreamingMergeStartsBeforeLastFrame(t *testing.T) {
+	const p, length = 4, 64
+	sizes := []int{150, 200, 250, 1500} // heavy straggler skew
+	inputs := make([][][]byte, p)
+	for pe := 0; pe < p; pe++ {
+		inputs[pe] = input.Random(sizes[pe], length, 26, pe, p, 181)
+	}
+	ref, err := Sort(inputs, Config{Algorithm: MS, Seed: 9})
+	if err != nil {
+		t.Fatalf("eager reference: %v", err)
+	}
+	cfg := Config{Algorithm: MS, Seed: 9, StreamingMerge: true, StreamChunk: 256}
+	// The milestones are wall-clock measurements, so a pathological
+	// scheduler could serialize one attempt into a zero lead; a few
+	// attempts make that vanishingly unlikely without weakening the
+	// assertion.
+	ok := false
+	for attempt := 0; attempt < 5 && !ok; attempt++ {
+		runs := runJittered(t, inputs, cfg, 120*time.Microsecond, 900+int64(attempt))
+		for rank := range runs {
+			if !equalOutputs(ref.PEs[rank].Strings, runs[rank].Output.Strings) {
+				t.Fatalf("attempt %d rank %d: streaming fragment differs from eager reference", attempt, rank)
+			}
+			if deterministic(runs[rank].Stats) != deterministic(ref.Stats) {
+				t.Fatalf("attempt %d rank %d: deterministic statistics differ:\nref:  %+v\ngot:  %+v",
+					attempt, rank, ref.Stats, runs[rank].Stats)
+			}
+		}
+		ok = runs[0].Stats.MergeLeadMS > 0
+	}
+	if !ok {
+		t.Fatal("streaming merge never started before the last Step-3 frame arrived " +
+			"(MergeLeadMS stayed 0); the loser tree is not running on partially decoded runs")
+	}
+}
+
+// TestStreamingSeamRaceStress is the concurrency stress of the
+// PollAny/loser-tree handoff: many PEs, tiny fragments (a handful of bytes
+// per frame, so every reader resumes mid-item constantly), randomized
+// delivery jitter, all algorithm families with a Step-3 seam — run under
+// -race in CI. Output and deterministic statistics must match the eager
+// in-process reference on every rank.
+func TestStreamingSeamRaceStress(t *testing.T) {
+	const p = 6
+	rng := rand.New(rand.NewSource(510))
+	inputs := genInputs(rng, p, 45)
+	for _, algo := range []Algorithm{MS, MSSimple, PDMS, HQuick} {
+		cfg := Config{Algorithm: algo, Seed: 17, Validate: true, Reconstruct: true}
+		ref, err := Sort(inputs, cfg)
+		if err != nil {
+			t.Fatalf("%v eager reference: %v", algo, err)
+		}
+		scfg := cfg
+		scfg.StreamingMerge = true
+		scfg.StreamChunk = 16
+		runs := runJittered(t, inputs, scfg, 40*time.Microsecond, 7000)
+		for rank := range runs {
+			if !equalOutputs(ref.PEs[rank].Strings, runs[rank].Output.Strings) {
+				t.Fatalf("%v rank %d: streaming fragment differs from eager reference", algo, rank)
+			}
+			if deterministic(runs[rank].Stats) != deterministic(ref.Stats) {
+				t.Fatalf("%v rank %d: deterministic statistics differ:\nref: %+v\ngot: %+v",
+					algo, rank, ref.Stats, runs[rank].Stats)
+			}
+		}
+	}
+}

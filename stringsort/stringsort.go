@@ -203,6 +203,18 @@ type Config struct {
 	// either way; blocking mode exists for differential testing and as the
 	// reference point of the overlap measurements.
 	BlockingExchange bool
+	// StreamingMerge selects the streaming Step-3→Step-4 seam: buckets
+	// ship as chunked transfers feeding incremental run readers, and the
+	// Step-4 loser tree starts on partially decoded runs — merging begins
+	// before the last exchange frame arrives (reported as
+	// Stats.MergeLeadMS). Sorted output and the deterministic statistics
+	// are bit-identical to the eager seam under every transport, codec and
+	// exchange mode; combining with BlockingExchange runs the chunked
+	// machinery bulk-synchronously (the differential reference).
+	StreamingMerge bool
+	// StreamChunk bounds the streaming frame payload in bytes (0 = the
+	// default, 8 KiB). Only meaningful with StreamingMerge.
+	StreamChunk int
 	// Codec names the wire codec decorating the transport ("", "none",
 	// "flate", "lcp"): frames are compressed before they cross the fabric
 	// and restored on receive. The paper's statistics are unaffected —
@@ -266,6 +278,12 @@ type Stats struct {
 	// WallMS is the slowest PE's total wall-clock time in ms (measured, not
 	// modeled).
 	WallMS float64
+	// MergeLeadMS is the streaming seam's merge lead: the largest per-PE
+	// span between the loser tree's first merged output and that PE's LAST
+	// Step-3 frame arrival, in ms. Positive means merging demonstrably
+	// began while exchange frames were still in flight; 0 under the eager
+	// seams (the milestone is not recorded there). Measured, not modeled.
+	MergeLeadMS float64
 	// WallTable is the human-readable per-phase breakdown of the measured
 	// wall spans and overlap (nondeterministic, like OverlapMS/WallMS).
 	WallTable string
@@ -288,6 +306,8 @@ func (st Stats) WriteSummary(w io.Writer, algo Algorithm, machine string, n int)
 	fmt.Fprintf(w, "wall time:        %.3f ms (slowest PE)\n", st.WallMS)
 	fmt.Fprintf(w, "overlap:          %.3f ms max per PE, %.3f PE-ms summed (comm hidden under compute)\n",
 		st.MaxOverlapMS, st.OverlapMS)
+	fmt.Fprintf(w, "merge lead:       %.3f ms (first merged string ahead of the last Step-3 frame; 0 = eager seam)\n",
+		st.MergeLeadMS)
 	fmt.Fprintf(w, "%s", st.PhaseTable)
 	fmt.Fprintf(w, "%s", st.WallTable)
 }
@@ -311,6 +331,7 @@ func statsFromReport(rep *stats.Report, n int64) Stats {
 		OverlapMS:          float64(rep.TotalOverlapNS()) / 1e6,
 		MaxOverlapMS:       float64(rep.MaxOverlapNS()) / 1e6,
 		WallMS:             float64(rep.MaxWallNS()) / 1e6,
+		MergeLeadMS:        float64(rep.MaxMergeLeadNS()) / 1e6,
 		WallTable:          rep.WallTable(),
 	}
 }
@@ -479,10 +500,12 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		return core.HQuick(c, ss, core.HQOptions{
 			GroupID: 1, Seed: cfg.Seed, TrackPhases: true,
 			BlockingExchange: cfg.BlockingExchange,
+			StreamingMerge:   cfg.StreamingMerge, StreamChunk: cfg.StreamChunk,
 		})
 	case FKMerge:
 		return core.FKMerge(c, ss, core.FKOptions{
 			GroupID: 1, BlockingExchange: cfg.BlockingExchange,
+			StreamingMerge: cfg.StreamingMerge, StreamChunk: cfg.StreamChunk,
 		})
 	case MSSimple:
 		o := core.MSSimple()
@@ -493,6 +516,8 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		o.TieBreak = cfg.TieBreak
 		o.RandomSampling = cfg.RandomSampling
 		o.BlockingExchange = cfg.BlockingExchange
+		o.StreamingMerge = cfg.StreamingMerge
+		o.StreamChunk = cfg.StreamChunk
 		return core.MergeSort(c, ss, o)
 	case MS:
 		o := core.DefaultMS()
@@ -503,6 +528,8 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		o.TieBreak = cfg.TieBreak
 		o.RandomSampling = cfg.RandomSampling
 		o.BlockingExchange = cfg.BlockingExchange
+		o.StreamingMerge = cfg.StreamingMerge
+		o.StreamChunk = cfg.StreamChunk
 		return core.MergeSort(c, ss, o)
 	case PDMS, PDMSGolomb:
 		o := core.DefaultPDMS()
@@ -517,6 +544,8 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 			o.StringSamplingOverride = false
 		}
 		o.BlockingExchange = cfg.BlockingExchange
+		o.StreamingMerge = cfg.StreamingMerge
+		o.StreamChunk = cfg.StreamChunk
 		return core.PDMS(c, ss, o)
 	default:
 		panic(fmt.Sprintf("stringsort: unknown algorithm %v", cfg.Algorithm))

@@ -39,6 +39,7 @@ func deterministic(st Stats) Stats {
 	st.OverlapMS = 0
 	st.MaxOverlapMS = 0
 	st.WallMS = 0
+	st.MergeLeadMS = 0
 	st.WallTable = ""
 	return st
 }
