@@ -107,11 +107,12 @@ func snapshotInputs(name string) (inputs [][][]byte, algo stringsort.Algorithm, 
 }
 
 // TestBenchSnapshotModelInvariance replays every Fig4/Fig5 cell of the
-// committed snapshot under every wire codec AND under the streaming merge
-// seam, and requires the deterministic model metrics — model-ms and
-// bytes/str, rounded at the snapshot's print precision — to match
-// bit-for-bit: neither the codec layer nor the streaming Step-3→Step-4
-// seam may be visible to the paper's accounting. On the Fig4 cells it
+// committed snapshot under every wire codec, under the streaming merge
+// seam AND at intra-PE pool width 4, and requires the deterministic model
+// metrics — model-ms and bytes/str, rounded at the snapshot's print
+// precision — to match bit-for-bit: neither the codec layer, nor the
+// streaming Step-3→Step-4 seam, nor the parallel work pool may be visible
+// to the paper's accounting. On the Fig4 cells it
 // additionally requires the compressing codecs to put strictly fewer
 // bytes per string on the wire than the raw model volume (the codec
 // subsystem's reason to exist), and — see
@@ -139,15 +140,17 @@ func TestBenchSnapshotModelInvariance(t *testing.T) {
 			label     string
 			codec     string
 			streaming bool
+			cores     int
 		}{
-			{"codec=none", "none", false},
-			{"codec=flate", "flate", false},
-			{"codec=lcp", "lcp", false},
-			{"merge=streaming", "none", true},
+			{"codec=none", "none", false, 0},
+			{"codec=flate", "flate", false, 0},
+			{"codec=lcp", "lcp", false, 0},
+			{"merge=streaming", "none", true, 0},
+			{"cores=4", "none", false, 4},
 		} {
 			res, err := stringsort.Sort(inputs, stringsort.Config{
 				Algorithm: algo, Seed: benchSeed, Codec: mode.codec,
-				StreamingMerge: mode.streaming,
+				StreamingMerge: mode.streaming, Cores: mode.cores,
 			})
 			if err != nil {
 				t.Fatalf("%s %s: %v", row.Name, mode.label, err)
@@ -170,7 +173,7 @@ func TestBenchSnapshotModelInvariance(t *testing.T) {
 			matched++
 		}
 	}
-	t.Logf("%d/%d snapshot cells bit-identical under all codecs and the streaming merge", matched, len(snap.Results))
+	t.Logf("%d/%d snapshot cells bit-identical under all codecs, the streaming merge and cores=4", matched, len(snap.Results))
 }
 
 // TestBenchSnapshotStreamingOverlapNoRegression asserts the streaming

@@ -11,6 +11,7 @@ package dss_test
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"testing"
 
 	"dss/internal/input"
@@ -33,6 +34,16 @@ var benchCodec = os.Getenv("DSS_BENCH_CODEC")
 // overlap-ms column records what the seam actually hid.
 var benchStreaming = os.Getenv("DSS_BENCH_MERGE") == "streaming"
 
+// benchCores sets the intra-PE work pool width for every benchmark
+// (DSS_BENCH_CORES=N, default 0 = GOMAXPROCS). One more model-invariant
+// axis: the cores and speedup-x columns record the pool's measured effect
+// on wall clock while model-ms and bytes/str stay pinned by the snapshot
+// test at every width.
+var benchCores = func() int {
+	n, _ := strconv.Atoi(os.Getenv("DSS_BENCH_CORES"))
+	return n
+}()
+
 func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 	b.Helper()
 	if cfg.Codec == "" {
@@ -40,6 +51,9 @@ func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 	}
 	if benchStreaming {
 		cfg.StreamingMerge = true
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = benchCores
 	}
 	var st stringsort.Stats
 	for i := 0; i < b.N; i++ {
@@ -60,6 +74,32 @@ func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 	// seam hid under Step-4 decoding (varies run to run, unlike the
 	// deterministic metrics above).
 	b.ReportMetric(st.OverlapMS, "overlap-ms")
+	// The intra-PE pool channel: the pool width the run executed with and
+	// the measured wall-clock speedup over the same configuration forced
+	// sequential (1.0 at width 1 by definition; ≈1.0 on single-CPU hosts —
+	// the harness records GOMAXPROCS alongside). Measured, like overlap-ms.
+	b.ReportMetric(float64(st.Cores), "cores")
+	b.ReportMetric(benchSpeedup(b, inputs, cfg, st), "speedup-x")
+}
+
+// benchSpeedup measures the intra-PE pool's wall-clock speedup: the same
+// sort forced to Cores=1 divided by the benchmarked run's wall time. Only
+// meaningful (and only paid for) when the run used a wider pool.
+func benchSpeedup(b *testing.B, inputs [][][]byte, cfg stringsort.Config, st stringsort.Stats) float64 {
+	b.Helper()
+	if st.Cores <= 1 || st.WallMS <= 0 {
+		return 1.0
+	}
+	seq := cfg
+	seq.Cores = 1
+	res, err := stringsort.Sort(inputs, seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Stats.WallMS <= 0 {
+		return 1.0
+	}
+	return res.Stats.WallMS / st.WallMS
 }
 
 func dnInputs(p, nPerPE, length int, ratio float64) [][][]byte {

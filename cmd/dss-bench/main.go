@@ -38,6 +38,12 @@ import (
 	"dss/stringsort"
 )
 
+// benchCores is the -cores value: the intra-PE work pool width every
+// sort of the harness runs with. The model panels are width-invariant by
+// construction; the flag exists so wall-clock behavior can be compared
+// across widths on the full figure workloads.
+var benchCores int
+
 type options struct {
 	fig    string
 	pes    []int
@@ -64,6 +70,7 @@ func main() {
 	flag.IntVar(&opt.total, "total", 30000, "total strings (strong scaling)")
 	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
 	flag.StringVar(&opt.codec, "codec", "none", "wire codec decorating the transport (none, flate, lcp); adds a wire-bytes panel")
+	flag.IntVar(&benchCores, "cores", 0, "intra-PE work pool width per PE (0 = GOMAXPROCS, 1 = sequential; model panels are width-invariant)")
 	mergeMode := flag.String("merge", "eager", "Step-4 front-end: eager or streaming (model panels are merge-invariant)")
 	flag.Parse()
 	var err error
@@ -124,6 +131,7 @@ func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampl
 	res, err := stringsort.Sort(inputs, stringsort.Config{
 		Algorithm:      algo,
 		Seed:           seed,
+		Cores:          benchCores,
 		CharSampling:   charSampling,
 		Codec:          codec,
 		StreamingMerge: streaming,
@@ -256,6 +264,7 @@ func skewExperiment(opt options) {
 				Algorithm:    stringsort.MS,
 				Seed:         uint64(opt.seed),
 				CharSampling: char,
+				Cores:        benchCores,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -286,6 +295,7 @@ func ablationOversampling(opt options) {
 			Algorithm:    stringsort.MS,
 			Seed:         uint64(opt.seed),
 			Oversampling: v,
+			Cores:        benchCores,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -311,6 +321,7 @@ func ablationEps(opt options) {
 			Algorithm: stringsort.PDMS,
 			Seed:      uint64(opt.seed),
 			Eps:       eps,
+			Cores:     benchCores,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -349,6 +360,7 @@ func ablationTieBreak(opt options) {
 				Algorithm: stringsort.MS,
 				Seed:      uint64(opt.seed),
 				TieBreak:  tie,
+				Cores:     benchCores,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)

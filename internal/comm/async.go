@@ -81,6 +81,10 @@ type Pending struct {
 	drained   []bool
 	remaining int
 	srcs      []int // scratch for the undrained-source list, reused per drain
+	// Staged-posting state (IAlltoallvStaged): outgoing parts still owed via
+	// Post. Draining is rejected until every part has been posted.
+	toPost    int
+	postedIdx []bool
 
 	// Barrier/Allgatherv completion, run by Wait.
 	finish     func() [][]byte
@@ -115,6 +119,51 @@ func (g *Group) IAlltoallv(parts [][]byte) *Pending {
 		pd.sendIdx(dst, parts[dst])
 	}
 	return pd
+}
+
+// IAlltoallvStaged posts the receive side of a personalized all-to-all
+// exchange with the outgoing parts still to come: each part is handed over
+// individually with Post, the moment it is ready. This is the send-side
+// counterpart of PollAny's incremental draining — the parallel Step-3
+// encoder posts each bucket as its encoder task finishes instead of
+// holding the whole exchange back for the slowest bucket. Accounting is
+// bit-identical to IAlltoallv whatever the posting order: the same bytes
+// and message counts are billed per destination to the phase captured
+// HERE, at post time. Draining (PollAny/PollRecv/Wait) is rejected until
+// every member's part has been posted.
+func (g *Group) IAlltoallvStaged() *Pending {
+	n := len(g.ranks)
+	pd := g.newPending(opAlltoallv)
+	pd.results = make([][]byte, n)
+	pd.drained = make([]bool, n)
+	pd.remaining = n
+	pd.toPost = n
+	pd.postedIdx = make([]bool, n)
+	return pd
+}
+
+// Post hands group member idx's outgoing part to a staged exchange,
+// sending it immediately (eager, never blocks). The self part is copied,
+// like IAlltoallv's. Each member must be posted exactly once; Post must be
+// called from the PE goroutine that owns the Comm (encoder tasks signal a
+// completion channel and the PE posts, keeping all accounting confined).
+func (pd *Pending) Post(idx int, part []byte) {
+	if pd.postedIdx == nil {
+		panic(fmt.Sprintf("comm: Post on a non-staged %v", pd.op))
+	}
+	if idx < 0 || idx >= len(pd.postedIdx) {
+		panic(fmt.Sprintf("comm: Post index %d out of range (n=%d)", idx, len(pd.postedIdx)))
+	}
+	if pd.postedIdx[idx] {
+		panic(fmt.Sprintf("comm: Post(%d): member already posted", idx))
+	}
+	pd.postedIdx[idx] = true
+	pd.toPost--
+	if idx == pd.g.myIdx {
+		pd.self = append([]byte(nil), part...)
+		return
+	}
+	pd.sendIdx(idx, part)
 }
 
 // PollAny blocks until some undrained member's payload is available, marks
@@ -365,6 +414,9 @@ func (pd *Pending) take(idx int, data []byte) []byte {
 func (pd *Pending) checkDrainable() {
 	if pd.op != opAlltoallv {
 		panic(fmt.Sprintf("comm: %v supports only Wait, not incremental draining", pd.op))
+	}
+	if pd.toPost > 0 {
+		panic(fmt.Sprintf("comm: draining a staged alltoallv with %d parts unposted", pd.toPost))
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"dss/internal/par"
 	"dss/internal/stats"
 	"dss/internal/transport"
 	"dss/internal/transport/local"
@@ -49,6 +50,7 @@ type Machine struct {
 	fabric transport.Fabric
 	pes    []*stats.PE
 	model  stats.CostModel
+	pool   *par.Pool
 }
 
 // New creates a machine with p PEs over the in-process mailbox transport
@@ -79,6 +81,12 @@ func (m *Machine) P() int { return m.fabric.P() }
 
 // SetModel replaces the cost model used for reports.
 func (m *Machine) SetModel(model stats.CostModel) { m.model = model }
+
+// SetPool installs an intra-PE work pool shared by all PEs of the machine
+// (nil reverts to sequential). Sharing one pool machine-wide is the right
+// bound on a single host: the PE goroutines themselves already occupy
+// cores, and the pool's token count caps the extra helpers.
+func (m *Machine) SetPool(p *par.Pool) { m.pool = p }
 
 // Report returns the accounting report accumulated so far.
 func (m *Machine) Report() *stats.Report {
@@ -120,6 +128,7 @@ func (m *Machine) Run(f func(c *Comm) error) error {
 				}
 			}()
 			c := newComm(m.fabric.Endpoint(rank), m.pes[rank])
+			c.SetPool(m.pool)
 			errs[rank] = f(c)
 			c.flushWall()
 		}(rank)
@@ -139,6 +148,7 @@ type Comm struct {
 	t          transport.Transport
 	st         *stats.PE
 	wm         wireMeter // non-nil when the transport meters wire bytes itself
+	pool       *par.Pool // intra-PE work pool; nil = sequential
 	phase      stats.Phase
 	phaseStart time.Time // start of the current phase's wall span
 }
@@ -211,6 +221,23 @@ func (c *Comm) Phase() stats.Phase { return c.phase }
 // current phase.
 func (c *Comm) AddWork(units int64) {
 	c.st.Phases[c.phase].Work += units
+}
+
+// SetPool installs this PE's intra-PE work pool (nil = sequential) and
+// records the pool width in the PE's statistics.
+func (c *Comm) SetPool(p *par.Pool) {
+	c.pool = p
+	c.st.Cores = int64(p.Cores())
+}
+
+// Pool returns the PE's intra-PE work pool; nil means sequential, which
+// every par entry point treats as the exact width-1 code path.
+func (c *Comm) Pool() *par.Pool { return c.pool }
+
+// AddCPU credits busy worker nanoseconds from a parallel region to the
+// current phase's CPU measurement channel (never a model input).
+func (c *Comm) AddCPU(ns int64) {
+	c.st.CPU[c.phase] += ns
 }
 
 // StatsPE returns this PE's accounting state. While the PE is running it

@@ -8,11 +8,11 @@ import (
 )
 
 // countersPerPE is the flattened size of one PE's phase counters: the four
-// deterministic counters, the wall span and overlap measurements of the
-// overlap model, and the two wire-byte counters of the codec layer, per
-// phase — plus the two per-PE milestone timestamps of the streaming merge
-// seam.
-const countersPerPE = int(stats.NumPhases)*8 + 2
+// deterministic counters, the wall span, overlap and worker-CPU
+// measurements of the overlap and intra-PE parallelism models, and the two
+// wire-byte counters of the codec layer, per phase — plus the two per-PE
+// milestone timestamps of the streaming merge seam and the pool width.
+const countersPerPE = int(stats.NumPhases)*9 + 3
 
 // AllgatherReport exchanges every PE's accounting snapshot and returns a
 // machine-wide report, identical on every member — the SPMD counterpart of
@@ -28,17 +28,19 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 	vals := make([]uint64, countersPerPE)
 	for ph := stats.Phase(0); ph < stats.NumPhases; ph++ {
 		pc := snap.Phases[ph]
-		vals[int(ph)*8+0] = uint64(pc.BytesSent)
-		vals[int(ph)*8+1] = uint64(pc.BytesRecv)
-		vals[int(ph)*8+2] = uint64(pc.Messages)
-		vals[int(ph)*8+3] = uint64(pc.Work)
-		vals[int(ph)*8+4] = uint64(snap.Wall[ph])
-		vals[int(ph)*8+5] = uint64(snap.Overlap[ph])
-		vals[int(ph)*8+6] = uint64(snap.Wire[ph].Sent)
-		vals[int(ph)*8+7] = uint64(snap.Wire[ph].Recv)
+		vals[int(ph)*9+0] = uint64(pc.BytesSent)
+		vals[int(ph)*9+1] = uint64(pc.BytesRecv)
+		vals[int(ph)*9+2] = uint64(pc.Messages)
+		vals[int(ph)*9+3] = uint64(pc.Work)
+		vals[int(ph)*9+4] = uint64(snap.Wall[ph])
+		vals[int(ph)*9+5] = uint64(snap.Overlap[ph])
+		vals[int(ph)*9+6] = uint64(snap.Wire[ph].Sent)
+		vals[int(ph)*9+7] = uint64(snap.Wire[ph].Recv)
+		vals[int(ph)*9+8] = uint64(snap.CPU[ph])
 	}
-	vals[int(stats.NumPhases)*8+0] = uint64(snap.MergeStartNS)
-	vals[int(stats.NumPhases)*8+1] = uint64(snap.ExchangeDoneNS)
+	vals[int(stats.NumPhases)*9+0] = uint64(snap.MergeStartNS)
+	vals[int(stats.NumPhases)*9+1] = uint64(snap.ExchangeDoneNS)
+	vals[int(stats.NumPhases)*9+2] = uint64(snap.Cores)
 	g := NewGroup(c, WorldRanks(c.P()), gid)
 	parts := g.Allgatherv(wire.EncodeUint64s(vals))
 	pes := make([]*stats.PE, len(parts))
@@ -50,20 +52,22 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 		pe := &stats.PE{Rank: i}
 		for ph := stats.Phase(0); ph < stats.NumPhases; ph++ {
 			pe.Phases[ph] = stats.PhaseCounters{
-				BytesSent: int64(vs[int(ph)*8+0]),
-				BytesRecv: int64(vs[int(ph)*8+1]),
-				Messages:  int64(vs[int(ph)*8+2]),
-				Work:      int64(vs[int(ph)*8+3]),
+				BytesSent: int64(vs[int(ph)*9+0]),
+				BytesRecv: int64(vs[int(ph)*9+1]),
+				Messages:  int64(vs[int(ph)*9+2]),
+				Work:      int64(vs[int(ph)*9+3]),
 			}
-			pe.Wall[ph] = int64(vs[int(ph)*8+4])
-			pe.Overlap[ph] = int64(vs[int(ph)*8+5])
+			pe.Wall[ph] = int64(vs[int(ph)*9+4])
+			pe.Overlap[ph] = int64(vs[int(ph)*9+5])
 			pe.Wire[ph] = stats.WireCounters{
-				Sent: int64(vs[int(ph)*8+6]),
-				Recv: int64(vs[int(ph)*8+7]),
+				Sent: int64(vs[int(ph)*9+6]),
+				Recv: int64(vs[int(ph)*9+7]),
 			}
+			pe.CPU[ph] = int64(vs[int(ph)*9+8])
 		}
-		pe.MergeStartNS = int64(vs[int(stats.NumPhases)*8+0])
-		pe.ExchangeDoneNS = int64(vs[int(stats.NumPhases)*8+1])
+		pe.MergeStartNS = int64(vs[int(stats.NumPhases)*9+0])
+		pe.ExchangeDoneNS = int64(vs[int(stats.NumPhases)*9+1])
+		pe.Cores = int64(vs[int(stats.NumPhases)*9+2])
 		pes[i] = pe
 	}
 	c.Release(parts...)

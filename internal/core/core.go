@@ -86,39 +86,122 @@ func cloneSpine(ss [][]byte) [][]byte {
 	return out
 }
 
-// exchangeRuns executes the Step-3 all-to-all seam shared by all four
-// algorithms: it hands every received part to decode exactly once and
-// releases the underlying buffer afterwards (all decoders copy their
-// results out), then leaves the accounting phase at next.
-//
-// Split-phase mode (blocking=false, the default): every outgoing part is
-// posted first, the accounting phase switches to next, and each incoming
-// run is decoded as soon as its frames land — in ARRIVAL order — so the
-// stragglers' communication is hidden under the decode work of the runs
-// that already arrived. Received bytes stay billed to the posting phase
-// (the exchange), so model time and bytes/string are bit-identical to the
-// blocking seam; only wall-clock improves, measured as stats.PE.Overlap.
-//
-// Blocking mode reproduces the pre-split seam: a bulk-synchronous
-// Alltoallv, then decode in rank order, then the phase switch.
-func exchangeRuns(c *comm.Comm, g *comm.Group, parts [][]byte, blocking bool, next stats.Phase, decode func(src int, msg []byte)) {
-	if blocking {
-		recvd := g.Alltoallv(parts)
-		for src, msg := range recvd {
-			decode(src, msg)
-			c.Release(msg)
+// partOffsets prefix-sums per-destination encoded sizes into arena
+// offsets: bucket dst occupies [offs[dst], offs[dst+1]).
+func partOffsets(sizes []int) []int {
+	offs := make([]int, len(sizes)+1)
+	for i, s := range sizes {
+		offs[i+1] = offs[i] + s
+	}
+	return offs
+}
+
+// encodeParts runs the Step-3 bucket encoders on the PE's work pool: each
+// enc(dst, buf) receives a zero-length slice whose capacity is exactly
+// sizes[dst] — a disjoint region of ONE pre-sized arena — appends its
+// bucket's encoding, and returns the filled slice. The regions are
+// disjoint by construction, so the p encoders run concurrently without
+// synchronization, and the encoded bytes are identical at every pool
+// width (each encoder is a pure function of its bucket). Worker busy time
+// is credited to the current phase's CPU channel. Used directly by the
+// streaming seam, which hands the parts to the chunked exchange.
+func encodeParts(c *comm.Comm, sizes []int, enc func(dst int, buf []byte) []byte) [][]byte {
+	offs := partOffsets(sizes)
+	arena := make([]byte, offs[len(sizes)])
+	parts := make([][]byte, len(sizes))
+	busy := c.Pool().ForEach(len(sizes), func(dst int) {
+		lo, hi := offs[dst], offs[dst+1]
+		buf := enc(dst, arena[lo:lo:hi])
+		if len(buf) != hi-lo {
+			panic("core: bucket encoder size mismatch")
 		}
+		parts[dst] = buf
+	})
+	c.AddCPU(busy)
+	return parts
+}
+
+// exchangeEncoded executes the Step-3 all-to-all seam shared by all four
+// algorithms, with both sides of the exchange spread over the PE's work
+// pool: the p bucket encoders run concurrently into disjoint regions of
+// one exactly pre-sized arena (sizes[dst] bytes each), and every received
+// part is handed to decode exactly once — concurrently too — with its
+// buffer released afterwards (all decoders copy their results out). The
+// accounting phase is left at next.
+//
+// Split-phase mode (blocking=false, the default): the exchange is posted
+// STAGED — each bucket is posted the moment its encoder task finishes,
+// signaled through a completion channel so the send and its accounting
+// stay on the PE goroutine — and each incoming run is dispatched to a
+// decode task as soon as its frames land, in ARRIVAL order. Stragglers'
+// communication thus hides under both the faster buckets' sends and the
+// decode work. Received bytes stay billed to the posting phase and the
+// encoded bytes are schedule-independent, so model time and bytes/string
+// are bit-identical to the sequential blocking seam; only wall-clock
+// improves, measured as stats.PE.Overlap and the CPU channel.
+//
+// Blocking mode reproduces the bulk-synchronous seam: encode all (in
+// parallel), one Alltoallv, decode all (in parallel), then the phase
+// switch.
+func exchangeEncoded(c *comm.Comm, g *comm.Group, sizes []int,
+	enc func(dst int, buf []byte) []byte, blocking bool, next stats.Phase,
+	decode func(src int, msg []byte)) {
+	pool := c.Pool()
+	if blocking {
+		parts := encodeParts(c, sizes, enc)
+		recvd := g.Alltoallv(parts)
+		dgrp := pool.Group()
+		for src, msg := range recvd {
+			dgrp.Go(func() {
+				decode(src, msg)
+				c.Release(msg)
+			})
+		}
+		c.AddCPU(dgrp.Wait())
 		c.SetPhase(next)
 		return
 	}
-	pd := g.IAlltoallv(parts)
+	// Staged posting: the Pending is created first (it captures the
+	// accounting phase and the overlap clock), encoder tasks signal their
+	// bucket index on completion, and the PE goroutine posts each part as
+	// the signal arrives — at width 1 the tasks run inline, the channel
+	// fills in destination order, and the seam is exactly sequential.
+	offs := partOffsets(sizes)
+	arena := make([]byte, offs[len(sizes)])
+	parts := make([][]byte, len(sizes))
+	pd := g.IAlltoallvStaged()
+	egrp := pool.Group()
+	done := make(chan int, len(sizes))
+	for dst := 0; dst < len(sizes); dst++ {
+		dst := dst
+		egrp.Go(func() {
+			// Signal via defer so a panicking encoder still unblocks the
+			// posting loop below; the panic itself re-raises at egrp.Wait.
+			defer func() { done <- dst }()
+			lo, hi := offs[dst], offs[dst+1]
+			buf := enc(dst, arena[lo:lo:hi])
+			if len(buf) != hi-lo {
+				panic("core: bucket encoder size mismatch")
+			}
+			parts[dst] = buf
+		})
+	}
+	for range sizes {
+		dst := <-done
+		pd.Post(dst, parts[dst])
+	}
+	c.AddCPU(egrp.Wait())
 	c.SetPhase(next)
+	dgrp := pool.Group()
 	for {
 		src, msg, ok := pd.PollAny()
 		if !ok {
-			return
+			break
 		}
-		decode(src, msg)
-		c.Release(msg)
+		dgrp.Go(func() {
+			decode(src, msg)
+			c.Release(msg)
+		})
 	}
+	c.AddCPU(dgrp.Wait())
 }

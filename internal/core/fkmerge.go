@@ -3,6 +3,7 @@ package core
 import (
 	"dss/internal/comm"
 	"dss/internal/merge"
+	"dss/internal/par"
 	"dss/internal/partition"
 	"dss/internal/stats"
 	"dss/internal/strsort"
@@ -35,12 +36,12 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 	p := c.P()
 	local := cloneSpine(ss)
 
-	// Step 1: local sort (no LCP output needed: FKmerge never uses LCPs).
+	// Step 1: local sort on the PE's work pool (no LCP output needed:
+	// FKmerge never uses LCPs).
 	c.SetPhase(stats.PhaseLocalSort)
-	st := strsort.Get()
-	st.Sort(local, nil)
-	c.AddWork(st.Work())
-	strsort.Put(st)
+	work, busy := strsort.ParallelSort(c.Pool(), local, nil)
+	c.AddWork(work)
+	c.AddCPU(busy)
 	if p == 1 {
 		c.SetPhase(stats.PhaseOther)
 		return Result{Strings: local}
@@ -57,20 +58,16 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 	})
 	off := partition.Buckets(local, splitters)
 
-	// Step 3: uncompressed all-to-all exchange, all parts encoded into one
-	// exactly pre-sized arena (see MergeSort Step 3).
+	// Step 3: uncompressed all-to-all exchange, all parts encoded on the
+	// work pool into one exactly pre-sized arena (see MergeSort Step 3).
 	c.SetPhase(stats.PhaseExchange)
 	g := comm.NewGroup(c, allRanks(p), opt.GroupID+8)
-	parts := make([][]byte, p)
-	total := 0
-	for dst := 0; dst < p; dst++ {
-		total += wire.StringsSize(local[off[dst]:off[dst+1]])
-	}
-	arena := make([]byte, 0, total)
-	for dst := 0; dst < p; dst++ {
-		start := len(arena)
-		arena = wire.AppendStrings(arena, local[off[dst]:off[dst+1]])
-		parts[dst] = arena[start:len(arena):len(arena)]
+	sizes, sbusy := par.MapOrdered(c.Pool(), p, func(dst int) int {
+		return wire.StringsSize(local[off[dst]:off[dst+1]])
+	})
+	c.AddCPU(sbusy)
+	enc := func(dst int, buf []byte) []byte {
+		return wire.AppendStrings(buf, local[off[dst]:off[dst+1]])
 	}
 	// Step 4: ordinary loser tree merge — streaming (the tree pulls heads
 	// off partially decoded runs) or eager (decode each run whole on
@@ -78,11 +75,12 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 	var out merge.Sequence
 	var mwork int64
 	if opt.StreamingMerge {
+		parts := encodeParts(c, sizes, enc)
 		rs := streamRuns(c, g, parts, wire.RunStrings, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)
 		out, mwork = merge.MergeStream(rs.sources(), merge.StreamOptions{OnFirstOutput: markMergeStart(c)})
 	} else {
 		runs := make([]merge.Sequence, p)
-		exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
+		exchangeEncoded(c, g, sizes, enc, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
 			rs, err := wire.DecodeStrings(msg)
 			if err != nil {
 				panic("fkmerge: corrupt run: " + err.Error())

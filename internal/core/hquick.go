@@ -2,9 +2,11 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 
 	"dss/internal/comm"
+	"dss/internal/par"
 	"dss/internal/stats"
 	"dss/internal/strsort"
 	"dss/internal/wire"
@@ -85,24 +87,29 @@ func HQuick(c *comm.Comm, ss [][]byte, opt HQOptions) Result {
 			dst := rng.Intn(q)
 			perDest[dst] = append(perDest[dst], i)
 		}
-		parts := make([][]byte, p)
-		for dst := 0; dst < p; dst++ {
-			parts[dst] = encodeTagged(strings, uids, perDest[dst])
+		sizes, sbusy := par.MapOrdered(c.Pool(), p, func(dst int) int {
+			return taggedSize(strings, uids, perDest[dst])
+		})
+		c.AddCPU(sbusy)
+		enc := func(dst int, buf []byte) []byte {
+			return appendTagged(buf, strings, uids, perDest[dst])
 		}
 		if opt.StreamingMerge {
 			// Chunked transfer into incremental readers: pairs decode as
 			// their bytes arrive, and the rank-ordered pull keeps the
 			// concatenation independent of arrival timing.
+			parts := encodeParts(c, sizes, enc)
 			rs := streamRuns(c, world, parts, wire.RunTagged, opt.BlockingExchange, opt.StreamChunk, c.Phase())
 			strings, uids = rs.drainTagged()
 		} else {
-			// Post the exchange and decode each part as it arrives, into
+			// Encode each part on the pool (posting it as its encoder
+			// finishes) and decode each part as it arrives, into
 			// per-source slots: the concatenation below stays in rank
 			// order, so the string sequence feeding the pivot recursion is
 			// independent of arrival timing.
 			perS := make([][][]byte, p)
 			perU := make([][]uint64, p)
-			exchangeRuns(c, world, parts, opt.BlockingExchange, c.Phase(), func(src int, msg []byte) {
+			exchangeEncoded(c, world, sizes, enc, opt.BlockingExchange, c.Phase(), func(src int, msg []byte) {
 				s, u, err := decodeTagged(msg)
 				if err != nil {
 					panic("hquick: corrupt redistribution payload")
@@ -163,10 +170,11 @@ func HQuick(c *comm.Comm, ss [][]byte, opt HQOptions) Result {
 		strings, uids = nil, nil
 	}
 
-	// Final local sort with LCP output.
+	// Final local sort with LCP output, spread over the PE's work pool.
 	setPhase(stats.PhaseLocalSort)
-	lcp, work := strsort.SortLCP(strings, uids)
+	lcp, work, busy := strsort.ParallelSortLCP(c.Pool(), strings, uids, nil)
 	c.AddWork(work)
+	c.AddCPU(busy)
 
 	origins := make([]Origin, len(uids))
 	for i, u := range uids {
@@ -261,6 +269,31 @@ func encodeTagged(strings [][]byte, uids []uint64, idxs []int) []byte {
 		w.Uvarint(uids[i])
 	}
 	return w.Bytes()
+}
+
+// taggedSize returns the exact encoded size of encodeTagged's output for
+// the same selection — the pre-computed arena share of one redistribution
+// bucket.
+func taggedSize(strings [][]byte, uids []uint64, idxs []int) int {
+	total := wire.UvarintLen(uint64(len(idxs)))
+	for _, i := range idxs {
+		total += wire.UvarintLen(uint64(len(strings[i]))) + len(strings[i]) +
+			wire.UvarintLen(uids[i])
+	}
+	return total
+}
+
+// appendTagged appends encodeTagged's encoding, byte for byte, into a
+// caller-provided buffer (a disjoint arena slice in the parallel Step-3
+// encode).
+func appendTagged(dst []byte, strings [][]byte, uids []uint64, idxs []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(idxs)))
+	for _, i := range idxs {
+		dst = binary.AppendUvarint(dst, uint64(len(strings[i])))
+		dst = append(dst, strings[i]...)
+		dst = binary.AppendUvarint(dst, uids[i])
+	}
+	return dst
 }
 
 // decodeTagged reverses encodeTagged. The decoded strings are copies laid

@@ -5,6 +5,7 @@ import (
 
 	"dss/internal/comm"
 	"dss/internal/merge"
+	"dss/internal/par"
 	"dss/internal/partition"
 	"dss/internal/stats"
 	"dss/internal/strsort"
@@ -99,20 +100,20 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 	}
 	local := cloneSpine(ss)
 
-	// Step 1: local sort with LCP array. The sorter's radix scratch is
-	// drawn from the package pool, so repeated sorts reuse allocations.
+	// Step 1: local sort with LCP array, spread over the PE's work pool
+	// (permutation, LCPs and work total are pool-width-independent; see
+	// strsort's parallel front-ends). Radix scratch is drawn from the
+	// size-classed package pools.
 	c.SetPhase(stats.PhaseLocalSort)
 	var lcp []int32
-	var work int64
-	st := strsort.Get()
+	var work, busy int64
 	if opt.LCPMerge || opt.LCPCompression {
-		lcp = st.SortLCPInto(local, nil, nil)
-	} else if len(local) > 1 {
-		st.Sort(local, nil)
+		lcp, work, busy = strsort.ParallelSortLCP(c.Pool(), local, nil, nil)
+	} else {
+		work, busy = strsort.ParallelSort(c.Pool(), local, nil)
 	}
-	work = st.Work()
-	strsort.Put(st)
 	c.AddWork(work)
+	c.AddCPU(busy)
 	if p == 1 {
 		c.SetPhase(stats.PhaseOther)
 		return Result{Strings: local, LCPs: lcp}
@@ -155,40 +156,36 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 	// string that stays on this PE.
 	c.SetPhase(stats.PhaseExchange)
 	g := comm.NewGroup(c, allRanks(p), opt.GroupID+8)
-	parts := make([][]byte, p)
-	total := 0
 	var wsizes [][2]int // per-dst (blob, lblob) sizes of the LCPMerge format
 	if opt.LCPMerge && !opt.LCPCompression {
 		wsizes = make([][2]int, p)
 	}
-	for dst := 0; dst < p; dst++ {
+	sizes, sbusy := par.MapOrdered(c.Pool(), p, func(dst int) int {
 		lo, hi := off[dst], off[dst+1]
 		switch {
 		case opt.LCPCompression:
-			total += wire.StringsLCPSize(local[lo:hi], lcpSub(lcp, lo, hi))
+			return wire.StringsLCPSize(local[lo:hi], lcpSub(lcp, lo, hi))
 		case opt.LCPMerge:
 			blob := wire.StringsSize(local[lo:hi])
 			lblob := wire.Int32sRunSize(lcpSub(lcp, lo, hi))
 			wsizes[dst] = [2]int{blob, lblob}
-			total += wire.UvarintLen(uint64(blob)) + blob +
+			return wire.UvarintLen(uint64(blob)) + blob +
 				wire.UvarintLen(uint64(lblob)) + lblob
 		default:
-			total += wire.StringsSize(local[lo:hi])
+			return wire.StringsSize(local[lo:hi])
 		}
-	}
-	arena := make([]byte, 0, total)
-	for dst := 0; dst < p; dst++ {
+	})
+	c.AddCPU(sbusy)
+	enc := func(dst int, buf []byte) []byte {
 		lo, hi := off[dst], off[dst+1]
-		start := len(arena)
 		switch {
 		case opt.LCPCompression:
-			arena = wire.AppendStringsLCP(arena, local[lo:hi], lcpSub(lcp, lo, hi))
+			return wire.AppendStringsLCP(buf, local[lo:hi], lcpSub(lcp, lo, hi))
 		case opt.LCPMerge:
-			arena = appendStringsWithLCPs(arena, local[lo:hi], lcpSub(lcp, lo, hi), wsizes[dst])
+			return appendStringsWithLCPs(buf, local[lo:hi], lcpSub(lcp, lo, hi), wsizes[dst])
 		default:
-			arena = wire.AppendStrings(arena, local[lo:hi])
+			return wire.AppendStrings(buf, local[lo:hi])
 		}
-		parts[dst] = arena[start:len(arena):len(arena)]
 	}
 	// Streaming seam: ship the buckets chunked and let the Step-4 loser
 	// tree pull heads off partially decoded runs — merging starts before
@@ -202,17 +199,19 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 		if opt.LCPCompression {
 			format = wire.RunStringsLCP
 		}
+		parts := encodeParts(c, sizes, enc)
 		rs := streamRuns(c, g, parts, format, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)
 		out, mwork = merge.MergeStream(rs.sources(), merge.StreamOptions{
 			LCP: opt.LCPMerge, OnFirstOutput: markMergeStart(c),
 		})
 	} else {
-		// Eager seam: post the exchange, then decode each incoming run as
-		// soon as it lands WHOLE (the arena decoders copy everything out of
-		// the message); the phase switches to merging while the stragglers
-		// are still in flight.
+		// Eager seam: encode each bucket on the pool, posting it as its
+		// encoder finishes, then decode each incoming run as soon as it
+		// lands WHOLE (the arena decoders copy everything out of the
+		// message); the phase switches to merging while the stragglers are
+		// still in flight.
 		runs := make([]merge.Sequence, p)
-		exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
+		exchangeEncoded(c, g, sizes, enc, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
 			switch {
 			case opt.LCPCompression:
 				rs, rl, err := wire.DecodeStringsLCP(msg)

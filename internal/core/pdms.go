@@ -6,6 +6,7 @@ import (
 	"dss/internal/comm"
 	"dss/internal/dupdetect"
 	"dss/internal/merge"
+	"dss/internal/par"
 	"dss/internal/partition"
 	"dss/internal/stats"
 	"dss/internal/strsort"
@@ -102,13 +103,13 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 		sats[i] = originSat(c.Rank(), i)
 	}
 
-	// Step 1: local sort with LCP array, carrying origins. Radix scratch
-	// comes from the sorter pool.
+	// Step 1: local sort with LCP array, carrying origins, spread over the
+	// PE's work pool. Radix scratch comes from the size-classed sorter
+	// pools.
 	c.SetPhase(stats.PhaseLocalSort)
-	st := strsort.Get()
-	lcp := st.SortLCPInto(local, sats, nil)
-	c.AddWork(st.Work())
-	strsort.Put(st)
+	lcp, work, busy := strsort.ParallelSortLCP(c.Pool(), local, sats, nil)
+	c.AddWork(work)
+	c.AddCPU(busy)
 
 	// Step 1+ε: approximate distinguishing prefix lengths.
 	dd := dupdetect.ApproxDist(c, local, dupdetect.Options{
@@ -188,11 +189,9 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 	// array (the encoder ignores the boundary entry).
 	c.SetPhase(stats.PhaseExchange)
 	g := comm.NewGroup(c, allRanks(p), opt.GroupID+8)
-	parts := make([][]byte, p)
 	blobSizes := make([]int, p)
 	oSizes := make([]int, p)
-	total := 0
-	for dst := 0; dst < p; dst++ {
+	sizes, sbusy := par.MapOrdered(c.Pool(), p, func(dst int) int {
 		lo, hi := off[dst], off[dst+1]
 		blobSizes[dst] = wire.StringsLCPSize(prefixes[lo:hi], lcpSub(plcp, lo, hi))
 		oSize := wire.UvarintLen(uint64(hi - lo))
@@ -200,21 +199,20 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 			oSize += wire.UvarintLen(u)
 		}
 		oSizes[dst] = oSize
-		total += wire.UvarintLen(uint64(blobSizes[dst])) + blobSizes[dst] +
+		return wire.UvarintLen(uint64(blobSizes[dst])) + blobSizes[dst] +
 			wire.UvarintLen(uint64(oSize)) + oSize
-	}
-	arena := make([]byte, 0, total)
-	for dst := 0; dst < p; dst++ {
+	})
+	c.AddCPU(sbusy)
+	enc := func(dst int, buf []byte) []byte {
 		lo, hi := off[dst], off[dst+1]
-		start := len(arena)
-		arena = binary.AppendUvarint(arena, uint64(blobSizes[dst]))
-		arena = wire.AppendStringsLCP(arena, prefixes[lo:hi], lcpSub(plcp, lo, hi))
-		arena = binary.AppendUvarint(arena, uint64(oSizes[dst]))
-		arena = binary.AppendUvarint(arena, uint64(hi-lo))
+		buf = binary.AppendUvarint(buf, uint64(blobSizes[dst]))
+		buf = wire.AppendStringsLCP(buf, prefixes[lo:hi], lcpSub(plcp, lo, hi))
+		buf = binary.AppendUvarint(buf, uint64(oSizes[dst]))
+		buf = binary.AppendUvarint(buf, uint64(hi-lo))
 		for _, u := range sats[lo:hi] {
-			arena = binary.AppendUvarint(arena, u)
+			buf = binary.AppendUvarint(buf, u)
 		}
-		parts[dst] = arena[start:len(arena):len(arena)]
+		return buf
 	}
 	// Step 4: LCP-aware multiway merge of the prefix runs — streaming (the
 	// tree pulls (prefix, origin) heads off partially decoded runs) or
@@ -223,13 +221,14 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 	var out merge.Sequence
 	var mwork int64
 	if opt.StreamingMerge {
+		parts := encodeParts(c, sizes, enc)
 		rs := streamRuns(c, g, parts, wire.RunPrefixOrigins, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)
 		out, mwork = merge.MergeStream(rs.sources(), merge.StreamOptions{
 			LCP: true, Sats: true, OnFirstOutput: markMergeStart(c),
 		})
 	} else {
 		runs := make([]merge.Sequence, p)
-		exchangeRuns(c, g, parts, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
+		exchangeEncoded(c, g, sizes, enc, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
 			r := wire.NewReader(msg)
 			blob, err1 := r.BytesPrefixed()
 			oblob, err2 := r.BytesPrefixed()

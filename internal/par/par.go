@@ -1,0 +1,221 @@
+// Package par provides the bounded, deterministic intra-PE work pool the
+// sorting algorithms use to spread Step-1 local sorting, Step-3 bucket
+// encoding and run decoding over multiple cores without changing any
+// result or any deterministic statistic.
+//
+// Determinism contract. The pool never decides WHAT is computed, only
+// WHERE: every task writes to its own index-addressed slot (ForEach,
+// MapOrdered) or to memory it exclusively owns (Group), and callers
+// combine per-task outputs in index order. Counter totals are summed from
+// per-task accumulators whose addition is order-independent (int64 adds).
+// A caller that follows this contract gets bit-identical results for every
+// pool width, which is what keeps the repo's model statistics invariant
+// under -cores.
+//
+// Scheduling model. A Pool of width W owns W−1 helper tokens. Fork points
+// (ForEach, Group.Go) try-acquire a token for a helper goroutine and fall
+// back to running the task inline on the calling goroutine when none is
+// free — so nested fork points degrade gracefully to sequential execution
+// instead of deadlocking, at most W goroutines ever compute at once, and a
+// width-1 (or nil) pool is EXACTLY the sequential code path: tasks run
+// inline, in index order, on the caller.
+//
+// Every fork point returns the summed busy nanoseconds of its tasks
+// (caller's share included). That is the "CPU seconds" channel of
+// stats.PE: wall-clock spans cannot show multi-core speedup on their own,
+// but busy/wall > 1 in a phase proves real parallel execution.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a bounded intra-PE work pool. The zero value is not usable; nil
+// is, and behaves as a width-1 sequential pool. Pools are safe for
+// concurrent use and may be shared by several PEs of one in-process
+// machine (the token bound then caps the machine-wide helper count, which
+// is the right bound: the PE goroutines themselves already occupy cores).
+type Pool struct {
+	cores  int
+	tokens chan struct{} // cores−1 helper permits; try-acquired, never blocked on
+}
+
+// New creates a pool of the given width. cores <= 0 selects
+// runtime.GOMAXPROCS(0); cores == 1 yields the pure sequential pool.
+func New(cores int) *Pool {
+	if cores <= 0 {
+		cores = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{cores: cores}
+	if cores > 1 {
+		p.tokens = make(chan struct{}, cores-1)
+		for i := 0; i < cores-1; i++ {
+			p.tokens <- struct{}{}
+		}
+	}
+	return p
+}
+
+// Cores returns the pool width; 1 for a nil pool.
+func (p *Pool) Cores() int {
+	if p == nil {
+		return 1
+	}
+	return p.cores
+}
+
+// Sequential reports whether the pool runs everything inline on the
+// caller (nil pool or width 1): the exact sequential code path.
+func (p *Pool) Sequential() bool { return p == nil || p.cores == 1 }
+
+// taskPanic carries the first panic of a helper goroutine to the caller.
+type taskPanic struct {
+	val   any
+	stack []byte
+}
+
+func rethrow(pv *taskPanic) {
+	panic(fmt.Sprintf("par: task panicked: %v\n%s", pv.val, pv.stack))
+}
+
+// ForEach runs fn(0..n-1), each index exactly once, spreading the indices
+// over the caller plus up to Cores()−1 helper goroutines, and returns the
+// summed busy nanoseconds of all workers. It blocks until every index is
+// done (a barrier). Indices are dispensed in order, so on a sequential
+// pool the calls happen exactly as a plain loop would. A panic in any task
+// is re-raised on the caller after the barrier.
+func (p *Pool) ForEach(n int, fn func(i int)) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if p.Sequential() || n == 1 {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return time.Since(t0).Nanoseconds()
+	}
+	var (
+		next  atomic.Int64
+		busy  atomic.Int64
+		fault atomic.Pointer[taskPanic]
+		wg    sync.WaitGroup
+	)
+	worker := func() {
+		t0 := time.Now()
+		defer func() {
+			busy.Add(time.Since(t0).Nanoseconds())
+			if r := recover(); r != nil {
+				fault.CompareAndSwap(nil, &taskPanic{val: r, stack: stack()})
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	// Helpers only with a free token; the caller always participates.
+	helpers := min(p.cores-1, n-1)
+spawn:
+	for h := 0; h < helpers; h++ {
+		select {
+		case <-p.tokens:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { p.tokens <- struct{}{} }()
+				worker()
+			}()
+		default:
+			break spawn
+		}
+	}
+	worker()
+	wg.Wait()
+	if pv := fault.Load(); pv != nil {
+		rethrow(pv)
+	}
+	return busy.Load()
+}
+
+// MapOrdered runs fn(0..n-1) on the pool and returns the results in index
+// order — the schedule can never reorder them — plus the summed busy
+// nanoseconds.
+func MapOrdered[T any](p *Pool, n int, fn func(i int) T) ([]T, int64) {
+	out := make([]T, n)
+	busy := p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out, busy
+}
+
+// Group collects dynamically spawned tasks (Go) for one joint Wait. Tasks
+// may spawn further tasks on the same Group from inside themselves —
+// recursion over an irregular tree — and every spawn degrades to inline
+// execution when no helper token is free, so a Group on a sequential pool
+// is a plain depth-first recursion. Go and Wait follow the usual
+// WaitGroup discipline: Wait may only be called after the direct Go calls
+// of the owning goroutine are done (task-internal Go calls are covered by
+// their running parent task).
+type Group struct {
+	p     *Pool
+	wg    sync.WaitGroup
+	busy  atomic.Int64
+	fault atomic.Pointer[taskPanic]
+}
+
+// Group creates a task group on the pool.
+func (p *Pool) Group() *Group { return &Group{p: p} }
+
+// Go schedules fn: on a helper goroutine when a token is free, otherwise
+// inline (in which case it has completed when Go returns, and its panics
+// propagate directly — exactly the sequential behavior).
+func (g *Group) Go(fn func()) {
+	if g.p.Sequential() {
+		t0 := time.Now()
+		fn()
+		g.busy.Add(time.Since(t0).Nanoseconds())
+		return
+	}
+	select {
+	case <-g.p.tokens:
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			defer func() { g.p.tokens <- struct{}{} }()
+			t0 := time.Now()
+			defer func() {
+				g.busy.Add(time.Since(t0).Nanoseconds())
+				if r := recover(); r != nil {
+					g.fault.CompareAndSwap(nil, &taskPanic{val: r, stack: stack()})
+				}
+			}()
+			fn()
+		}()
+	default:
+		t0 := time.Now()
+		fn()
+		g.busy.Add(time.Since(t0).Nanoseconds())
+	}
+}
+
+// Wait blocks until every spawned task has finished and returns the summed
+// busy nanoseconds of all tasks. A panic in any helper task is re-raised
+// here. Wait may be called once per Group.
+func (g *Group) Wait() int64 {
+	g.wg.Wait()
+	if pv := g.fault.Load(); pv != nil {
+		rethrow(pv)
+	}
+	return g.busy.Load()
+}
+
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}

@@ -1,0 +1,211 @@
+package par
+
+import (
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, cores := range []int{1, 2, 3, 8} {
+		p := New(cores)
+		const n = 1000
+		hits := make([]int32, n)
+		p.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("cores=%d: index %d executed %d times", cores, i, h)
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSequential(t *testing.T) {
+	var p *Pool
+	if !p.Sequential() || p.Cores() != 1 {
+		t.Fatalf("nil pool: Sequential=%v Cores=%d", p.Sequential(), p.Cores())
+	}
+	// Inline execution in index order, on the calling goroutine.
+	var order []int
+	p.ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+	g := p.Group()
+	ran := false
+	g.Go(func() { ran = true })
+	if !ran {
+		t.Fatal("sequential Group.Go did not run inline")
+	}
+	g.Wait()
+}
+
+func TestMapOrderedPreservesIndexOrder(t *testing.T) {
+	p := New(4)
+	out, busy := MapOrdered(p, 257, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if busy < 0 {
+		t.Fatalf("negative busy time %d", busy)
+	}
+}
+
+// TestDeterministicAccumulation is the merge-back contract in miniature:
+// per-task partial sums combined by order-independent addition must give
+// the same total at every pool width.
+func TestDeterministicAccumulation(t *testing.T) {
+	const n = 10000
+	var want int64
+	for i := 0; i < n; i++ {
+		want += int64(i * 7)
+	}
+	for _, cores := range []int{1, 2, 4, 16} {
+		p := New(cores)
+		var got atomic.Int64
+		p.ForEach(n, func(i int) { got.Add(int64(i * 7)) })
+		if got.Load() != want {
+			t.Fatalf("cores=%d: sum %d, want %d", cores, got.Load(), want)
+		}
+	}
+}
+
+// TestNestedForkPointsDegradeInline drives recursion deeper than the token
+// supply: inner fork points must run inline instead of deadlocking, and
+// every leaf must still execute exactly once.
+func TestNestedForkPointsDegradeInline(t *testing.T) {
+	p := New(3)
+	var leaves atomic.Int64
+	var recurse func(g *Group, depth int)
+	recurse = func(g *Group, depth int) {
+		if depth == 0 {
+			leaves.Add(1)
+			return
+		}
+		for k := 0; k < 3; k++ {
+			g.Go(func() { recurse(g, depth-1) })
+		}
+	}
+	g := p.Group()
+	recurse(g, 6)
+	g.Wait()
+	if want := int64(729); leaves.Load() != want {
+		t.Fatalf("leaves = %d, want %d", leaves.Load(), want)
+	}
+	// All tokens must be back: the next ForEach can still parallelize.
+	if got := len(p.tokens); got != p.cores-1 {
+		t.Fatalf("%d/%d tokens returned after nested run", got, p.cores-1)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, cores := range []int{1, 4} {
+		p := New(cores)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("cores=%d: panic did not propagate", cores)
+				}
+				if cores > 1 && !strings.Contains(r.(string), "boom") {
+					t.Fatalf("cores=%d: wrapped panic lost the cause: %v", cores, r)
+				}
+			}()
+			p.ForEach(64, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+		if p.tokens != nil && len(p.tokens) != p.cores-1 {
+			t.Fatalf("cores=%d: tokens leaked across a panic", cores)
+		}
+	}
+}
+
+func TestGroupPanicPropagatesOnWait(t *testing.T) {
+	p := New(4)
+	g := p.Group()
+	var sawInline any
+	func() {
+		defer func() { sawInline = recover() }()
+		for k := 0; k < 32; k++ {
+			g.Go(func() {
+				time.Sleep(time.Microsecond)
+				panic("task fault")
+			})
+		}
+	}()
+	if sawInline != nil {
+		// An inline task panicked straight through Go — also correct; the
+		// spawned remainder still joins below.
+		if !strings.Contains(sawInline.(string), "task fault") {
+			t.Fatalf("inline panic lost the cause: %v", sawInline)
+		}
+		// Spawned siblings may have panicked as well; join them tolerantly.
+		func() {
+			defer func() { _ = recover() }()
+			g.Wait()
+		}()
+		return
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Wait did not re-raise the helper panic")
+		}
+	}()
+	g.Wait()
+}
+
+// TestPoolRandomizedScheduleStress is the -race stress run of the
+// determinism suite: tasks of wildly varying duration, random nesting and
+// random pool widths hammer the token machinery while all partial results
+// land in index-addressed slots. Any cross-task data race is the race
+// detector's to find; the assertions pin the merge-back invariants.
+func TestPoolRandomizedScheduleStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 30; round++ {
+		cores := 1 + rng.Intn(8)
+		p := New(cores)
+		n := 1 + rng.Intn(200)
+		delays := make([]time.Duration, n)
+		for i := range delays {
+			delays[i] = time.Duration(rng.Intn(50)) * time.Microsecond
+		}
+		out := make([]int, n)
+		var total atomic.Int64
+		busy := p.ForEach(n, func(i int) {
+			if delays[i] > 0 {
+				time.Sleep(delays[i])
+			}
+			if i%7 == 0 {
+				// Nested fork point under load.
+				sub, _ := MapOrdered(p, 3, func(j int) int { return i + j })
+				out[i] = sub[0] + sub[1] + sub[2] - 2*i - 3
+			} else {
+				out[i] = i
+			}
+			total.Add(int64(i))
+		})
+		for i, v := range out {
+			if v != i {
+				t.Fatalf("round %d cores=%d: out[%d] = %d", round, cores, i, v)
+			}
+		}
+		if want := int64(n) * int64(n-1) / 2; total.Load() != want {
+			t.Fatalf("round %d: total %d want %d", round, total.Load(), want)
+		}
+		if busy <= 0 {
+			t.Fatalf("round %d: busy = %d", round, busy)
+		}
+		if p.tokens != nil && len(p.tokens) != cores-1 {
+			t.Fatalf("round %d: %d/%d tokens after drain", round, len(p.tokens), cores-1)
+		}
+	}
+}

@@ -109,6 +109,15 @@ type PE struct {
 	// span from posting to the last drained payload minus the time the PE
 	// actually spent blocked waiting on it. Zero for blocking collectives.
 	Overlap [NumPhases]int64
+	// Cores is the width of the intra-PE work pool this PE ran with, and
+	// CPU[ph] the summed busy nanoseconds of all pool workers (caller
+	// included) inside parallel regions attributed to phase ph. CPU is the
+	// multi-core evidence channel: CPU[ph] > Wall[ph] proves real parallel
+	// execution in that phase, since a lone goroutine cannot be busy longer
+	// than the wall. Like Wall and Overlap these are measurements — never
+	// model inputs, never part of deterministic cross-run comparisons.
+	Cores int64
+	CPU   [NumPhases]int64
 	// MergeStartNS and ExchangeDoneNS are wall-clock milestones of the
 	// streaming merge seam, in UnixNano (0 = not recorded). MergeStartNS is
 	// stamped when the Step-4 loser tree emits its first merged string;
@@ -402,6 +411,42 @@ func (r *Report) MaxMergeLeadNS() int64 {
 	return m
 }
 
+// MaxCores returns the largest intra-PE pool width of the run (1 when
+// every PE ran sequentially).
+func (r *Report) MaxCores() int64 {
+	var m int64 = 1
+	for _, pe := range r.PEs {
+		if pe.Cores > m {
+			m = pe.Cores
+		}
+	}
+	return m
+}
+
+// TotalCPUNS returns the summed busy nanoseconds of all intra-PE pool
+// workers over all PEs and phases — the CPU-seconds actually burned inside
+// parallel regions, comparable against MaxWallNS for a machine-wide
+// parallel-efficiency read.
+func (r *Report) TotalCPUNS() int64 {
+	var t int64
+	for _, pe := range r.PEs {
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			t += pe.CPU[ph]
+		}
+	}
+	return t
+}
+
+// PhaseCPUNS returns the summed worker busy nanoseconds of one phase over
+// all PEs.
+func (r *Report) PhaseCPUNS(ph Phase) int64 {
+	var t int64
+	for _, pe := range r.PEs {
+		t += pe.CPU[ph]
+	}
+	return t
+}
+
 // MaxOverlapNS returns the bottleneck overlap: the maximum over PEs of
 // their total hidden communication time. Unlike TotalOverlapNS (a sum of
 // per-PE values), this is directly comparable to wall spans.
@@ -428,20 +473,24 @@ func (r *Report) MaxOverlapNS() int64 {
 // comparable, which is why both say so.
 func (r *Report) WallTable() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %14s %16s\n", "phase", "wall_ms (max)", "overlap_ms (sum)")
+	fmt.Fprintf(&b, "%-12s %14s %16s %14s\n",
+		"phase", "wall_ms (max)", "overlap_ms (sum)", "cpu_ms (sum)")
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		wall := r.PhaseWallNS(ph)
 		var overlap int64
 		for _, pe := range r.PEs {
 			overlap += pe.Overlap[ph]
 		}
-		if wall == 0 && overlap == 0 {
+		cpu := r.PhaseCPUNS(ph)
+		if wall == 0 && overlap == 0 && cpu == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "%-12s %14.3f %16.3f\n", ph, float64(wall)/1e6, float64(overlap)/1e6)
+		fmt.Fprintf(&b, "%-12s %14.3f %16.3f %14.3f\n",
+			ph, float64(wall)/1e6, float64(overlap)/1e6, float64(cpu)/1e6)
 	}
-	fmt.Fprintf(&b, "%-12s %14.3f %16.3f\n",
-		"total", float64(r.MaxWallNS())/1e6, float64(r.TotalOverlapNS())/1e6)
+	fmt.Fprintf(&b, "%-12s %14.3f %16.3f %14.3f\n",
+		"total", float64(r.MaxWallNS())/1e6, float64(r.TotalOverlapNS())/1e6,
+		float64(r.TotalCPUNS())/1e6)
 	return b.String()
 }
 

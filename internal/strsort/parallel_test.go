@@ -1,0 +1,159 @@
+package strsort
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dss/internal/par"
+)
+
+// randomStrings builds an input mix that exercises every kernel layer:
+// shared prefixes (deep radix recursion), duplicates (equal partitions and
+// bucket-0 end-of-string handling), and a skewed alphabet.
+func randomStrings(rng *rand.Rand, n int) [][]byte {
+	prefixes := [][]byte{{}, []byte("pre"), []byte("prefix-shared-"), []byte("prefix-shared-deep/")}
+	ss := make([][]byte, n)
+	for i := range ss {
+		p := prefixes[rng.Intn(len(prefixes))]
+		l := rng.Intn(20)
+		s := make([]byte, len(p)+l)
+		copy(s, p)
+		for j := len(p); j < len(s); j++ {
+			s[j] = byte('a' + rng.Intn(4))
+		}
+		ss[i] = s
+	}
+	// Sprinkle exact duplicates.
+	for i := 0; i < n/10; i++ {
+		ss[rng.Intn(n)] = ss[rng.Intn(n)]
+	}
+	return ss
+}
+
+func cloneInput(ss [][]byte) ([][]byte, []uint64) {
+	cp := make([][]byte, len(ss))
+	copy(cp, ss)
+	sat := make([]uint64, len(ss))
+	for i := range sat {
+		sat[i] = uint64(i)
+	}
+	return cp, sat
+}
+
+// checkEquivalent asserts the full parallel ≡ sequential contract on one
+// input: same permutation (via the satellite original-index channel, which
+// distinguishes duplicate strings), same LCP array, same work total.
+func checkEquivalent(t *testing.T, ss [][]byte, cores int) {
+	t.Helper()
+	seqSS, seqSat := cloneInput(ss)
+	seqLCP, seqWork := SortLCP(seqSS, seqSat)
+
+	pool := par.New(cores)
+	parSS, parSat := cloneInput(ss)
+	parLCP, parWork, _ := ParallelSortLCP(pool, parSS, parSat, nil)
+
+	if parWork != seqWork {
+		t.Fatalf("cores=%d: work %d, sequential %d", cores, parWork, seqWork)
+	}
+	for i := range seqSS {
+		if !bytes.Equal(parSS[i], seqSS[i]) {
+			t.Fatalf("cores=%d: string %d differs: %q vs %q", cores, i, parSS[i], seqSS[i])
+		}
+		if parSat[i] != seqSat[i] {
+			t.Fatalf("cores=%d: permutation differs at %d: sat %d vs %d", cores, i, parSat[i], seqSat[i])
+		}
+		if parLCP[i] != seqLCP[i] {
+			t.Fatalf("cores=%d: lcp[%d] = %d, sequential %d", cores, i, parLCP[i], seqLCP[i])
+		}
+	}
+
+	// The no-LCP path (Sort / ParallelSort) against the same baseline.
+	mkSS, mkSat := cloneInput(ss)
+	mkWork := Sort(mkSS, mkSat)
+	pmSS, pmSat := cloneInput(ss)
+	pmWork, _ := ParallelSort(pool, pmSS, pmSat)
+	if pmWork != mkWork {
+		t.Fatalf("cores=%d: ParallelSort work %d, Sort %d", cores, pmWork, mkWork)
+	}
+	for i := range mkSS {
+		if !bytes.Equal(pmSS[i], mkSS[i]) || pmSat[i] != mkSat[i] {
+			t.Fatalf("cores=%d: ParallelSort diverges from Sort at %d", cores, i)
+		}
+	}
+}
+
+func TestParallelSortEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Sizes straddling parSortMin so both the inline fallback and the real
+	// parallel decomposition (including multi-level recursion) run.
+	for _, n := range []int{0, 1, 500, parSortMin - 1, parSortMin, 3 * parSortMin, 20000} {
+		ss := randomStrings(rng, n)
+		for _, cores := range []int{1, 2, 3, 8} {
+			checkEquivalent(t, ss, cores)
+		}
+	}
+}
+
+func TestParallelSortLCPReusesProvidedSlice(t *testing.T) {
+	ss := randomStrings(rand.New(rand.NewSource(3)), 2*parSortMin)
+	lcp := make([]int32, len(ss))
+	got, _, _ := ParallelSortLCP(par.New(4), ss, nil, lcp)
+	if &got[0] != &lcp[0] {
+		t.Fatal("provided lcp slice was not reused")
+	}
+}
+
+func TestParallelSortNilSatellites(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ss := randomStrings(rng, 3*parSortMin)
+	seq := make([][]byte, len(ss))
+	copy(seq, ss)
+	wantLCP, wantWork := SortLCP(seq, nil)
+	gotLCP, gotWork, _ := ParallelSortLCP(par.New(4), ss, nil, nil)
+	if gotWork != wantWork {
+		t.Fatalf("work %d, want %d", gotWork, wantWork)
+	}
+	for i := range seq {
+		if !bytes.Equal(ss[i], seq[i]) || gotLCP[i] != wantLCP[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+// FuzzParallelSortEquivalence: random string sets and core counts, parallel
+// sort ≡ sequential SortLCP on permutation, LCPs and work.
+func FuzzParallelSortEquivalence(f *testing.F) {
+	f.Add([]byte("apple\nbanana\napple\nbanan\n"), uint8(4), uint16(100))
+	f.Add([]byte{0, 0, 1, 0xff, 0, 0}, uint8(2), uint16(5000))
+	f.Add([]byte("seed"), uint8(7), uint16(9000))
+	f.Fuzz(func(t *testing.T, corpus []byte, coresByte uint8, nWant uint16) {
+		cores := 1 + int(coresByte%8)
+		n := int(nWant) % 12000
+		if len(corpus) == 0 {
+			corpus = []byte{0}
+		}
+		// Derive n strings as slices of the corpus: fuzzer-controlled
+		// content with heavy overlap, which maximizes shared prefixes.
+		rng := rand.New(rand.NewSource(int64(len(corpus))*31 + int64(cores)))
+		ss := make([][]byte, n)
+		for i := range ss {
+			lo := rng.Intn(len(corpus))
+			hi := lo + rng.Intn(len(corpus)-lo+1)
+			ss[i] = corpus[lo:hi]
+		}
+
+		seqSS, seqSat := cloneInput(ss)
+		seqLCP, seqWork := SortLCP(seqSS, seqSat)
+		parSS, parSat := cloneInput(ss)
+		parLCP, parWork, _ := ParallelSortLCP(par.New(cores), parSS, parSat, nil)
+		if parWork != seqWork {
+			t.Fatalf("cores=%d n=%d: work %d, sequential %d", cores, n, parWork, seqWork)
+		}
+		for i := range seqSS {
+			if !bytes.Equal(parSS[i], seqSS[i]) || parSat[i] != seqSat[i] || parLCP[i] != seqLCP[i] {
+				t.Fatalf("cores=%d n=%d: diverged at %d", cores, n, i)
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@
 package strsort
 
 import (
+	"math/bits"
 	"sync"
 
 	"dss/internal/strutil"
@@ -34,25 +35,44 @@ type Sorter struct {
 	tmpSat     []uint64
 }
 
-// sorterPool recycles Sorter scratch space across sorting runs, so
-// repeated sorts in one process (the benchmark loops, the per-PE sorts of
-// every distributed algorithm) stop reallocating radix distribution
-// buffers.
-var sorterPool = sync.Pool{New: func() any { return new(Sorter) }}
+// sorterPools recycle Sorter scratch space across sorting runs, bucketed
+// by the power-of-two size class of the radix distribution buffer. One
+// undifferentiated pool was fine while each PE ran one sort at a time; the
+// parallel Step-1 sorter checks out many Sorters concurrently — one per
+// bucket subproblem — and a single class would hand a scratch buffer grown
+// for the whole input to a 200-string bucket (pinning memory) or a tiny
+// one to a large bucket (forcing a reallocation). sync.Pool itself is
+// per-P, so concurrent workers mostly hit thread-local free lists and
+// never share a scratch buffer: a pooled Sorter is owned exclusively
+// between Get and Put.
+var sorterPools [bits.UintSize + 1]sync.Pool
+
+// sizeClass buckets a scratch capacity: class k holds buffers with
+// cap in [2^(k-1), 2^k).
+func sizeClass(n int) int { return bits.Len(uint(n)) }
 
 // Get returns a Sorter with recycled scratch space and a zeroed work
 // counter. Return it with Put when the sort is done.
-func Get() *Sorter {
-	st := sorterPool.Get().(*Sorter)
+func Get() *Sorter { return GetSized(0) }
+
+// GetSized returns a Sorter whose recycled scratch space, if any, comes
+// from the size class of an n-string subproblem — the right checkout for
+// the parallel sorter's per-worker bucket sorts.
+func GetSized(n int) *Sorter {
+	st, _ := sorterPools[sizeClass(n)].Get().(*Sorter)
+	if st == nil {
+		st = new(Sorter)
+	}
 	st.work = 0
 	return st
 }
 
-// Put returns a Sorter to the scratch pool. The string scratch is cleared
-// so pooled Sorters do not pin the last run's character data.
+// Put returns a Sorter to the scratch pool of its size class. The string
+// scratch is cleared so pooled Sorters do not pin the last run's character
+// data.
 func Put(st *Sorter) {
 	clear(st.tmpStrings[:cap(st.tmpStrings)])
-	sorterPool.Put(st)
+	sorterPools[sizeClass(cap(st.tmpStrings))].Put(st)
 }
 
 // Work returns the characters-inspected counter accumulated so far.

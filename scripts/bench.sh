@@ -17,11 +17,15 @@
 # hid under Step-4 decoding.
 #
 # BENCH_CODEC decorates the benchmark transports with a wire codec
-# (none/flate/lcp). BENCH_BASELINE compares the fresh snapshot's model
-# columns against an earlier BENCH_*.json and fails on any drift — run it
-# with a codec to prove the paper's numbers don't move:
+# (none/flate/lcp). BENCH_CORES sets the intra-PE work pool width (0 =
+# GOMAXPROCS); the snapshot metadata records the requested width alongside
+# gomaxprocs and host_cpus so a speedup_x column can always be read in
+# context. BENCH_BASELINE compares the fresh snapshot's model columns
+# against an earlier BENCH_*.json and fails on any drift — run it with a
+# codec or a pool width to prove the paper's numbers don't move:
 #
 #   BENCH_CODEC=flate BENCH_BASELINE=BENCH_2026-07-30.json scripts/bench.sh
+#   BENCH_CORES=4 BENCH_BASELINE=BENCH_2026-07-30.json BENCH_OUT=/tmp/b.json scripts/bench.sh
 #
 # Usage:
 #   scripts/bench.sh                 # Fig4 + Fig5, benchtime 3x
@@ -35,7 +39,9 @@ cd "$(dirname "$0")/.."
 PATTERN="${BENCH_PATTERN:-BenchmarkFig4|BenchmarkFig5}"
 BENCHTIME="${BENCHTIME:-3x}"
 CODEC="${BENCH_CODEC:-none}"
+CORES="${BENCH_CORES:-0}"
 BASELINE="${BENCH_BASELINE:-}"
+HOST_CPUS="$(getconf _NPROCESSORS_ONLN)"
 DATE="$(date +%Y-%m-%d)"
 OUT="${BENCH_OUT:-BENCH_${DATE}.json}"
 RAW="$(mktemp)"
@@ -50,19 +56,27 @@ if [ -n "$BASELINE" ] && [ "$(readlink -f "$OUT" 2>/dev/null || echo "$OUT")" = 
     exit 1
 fi
 
-echo "running: DSS_BENCH_CODEC=$CODEC go test -run '^$' -bench '$PATTERN' -benchmem -benchtime $BENCHTIME ." >&2
-DSS_BENCH_CODEC="$CODEC" go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+echo "running: DSS_BENCH_CODEC=$CODEC DSS_BENCH_CORES=$CORES go test -run '^$' -bench '$PATTERN' -benchmem -benchtime $BENCHTIME ." >&2
+DSS_BENCH_CODEC="$CODEC" DSS_BENCH_CORES="$CORES" go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
 
-awk -v date="$DATE" -v benchtime="$BENCHTIME" -v codec="$CODEC" '
+# The execution-shape metadata makes the measured columns (speedup_x,
+# overlap_ms) readable in context: cores is the requested intra-PE pool
+# width (0 = GOMAXPROCS), gomaxprocs is the test binary's actual value
+# (parsed from the -N benchmark name suffix), host_cpus the machine size.
+awk -v date="$DATE" -v benchtime="$BENCHTIME" -v codec="$CODEC" \
+    -v cores="$CORES" -v hostcpus="$HOST_CPUS" '
 BEGIN {
     printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"codec\": \"%s\",\n", date, benchtime, codec
+    gomaxprocs = 1  # the -N name suffix is omitted when GOMAXPROCS is 1
 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1
-    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    if (match(name, /-[0-9]+$/))  # the -GOMAXPROCS suffix
+        gomaxprocs = substr(name, RSTART + 1, RLENGTH - 1) + 0
+    sub(/-[0-9]+$/, "", name)
     iters = $2
     line = ""
     for (i = 3; i + 1 <= NF; i += 2) {
@@ -76,6 +90,7 @@ BEGIN {
 }
 END {
     printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu
+    printf "  \"cores\": %d,\n  \"gomaxprocs\": %d,\n  \"host_cpus\": %d,\n", cores, gomaxprocs, hostcpus
     printf "  \"results\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", results[i], (i < n ? "," : "")
     printf "  ]\n}\n"

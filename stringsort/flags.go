@@ -31,6 +31,7 @@ type TuningFlags struct {
 	Codec        *string
 	CodecMin     *int
 	Validate     *bool
+	Cores        *int
 }
 
 // RegisterTuningFlags registers the shared tuning flags on fs (use
@@ -51,6 +52,7 @@ func RegisterTuningFlags(fs *flag.FlagSet) *TuningFlags {
 		Codec:        fs.String("codec", "none", "wire codec decorating the transport: "+codec.Names()+" (model stats unaffected)"),
 		CodecMin:     fs.Int("codec-min", codec.DefaultMinSize, "frames smaller than this many bytes ship uncompressed"),
 		Validate:     fs.Bool("validate", false, "run the distributed verifier after sorting"),
+		Cores:        fs.Int("cores", 0, "intra-PE work pool width (0 = GOMAXPROCS, 1 = sequential; output and model stats identical at any width)"),
 	}
 }
 
@@ -86,6 +88,7 @@ func (tf *TuningFlags) Apply(cfg *Config) error {
 	cfg.StreamingMerge = streaming
 	cfg.StreamChunk = *tf.MergeChunk
 	cfg.Validate = *tf.Validate
+	cfg.Cores = *tf.Cores
 	return nil
 }
 

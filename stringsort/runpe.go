@@ -5,6 +5,7 @@ import (
 
 	"dss/internal/comm"
 	"dss/internal/core"
+	"dss/internal/par"
 	"dss/internal/stats"
 	"dss/internal/transport"
 	"dss/internal/transport/codec"
@@ -62,6 +63,7 @@ func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
 		t = wrapped
 	}
 	c := comm.NewComm(t)
+	c.SetPool(par.New(cfg.Cores))
 	res := dispatch(c, local, cfg)
 
 	// Snapshot and exchange the sorting statistics before any

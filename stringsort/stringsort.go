@@ -25,6 +25,7 @@ import (
 	"dss/internal/comm"
 	"dss/internal/core"
 	"dss/internal/dupdetect"
+	"dss/internal/par"
 	"dss/internal/partition"
 	"dss/internal/stats"
 	"dss/internal/transport"
@@ -226,6 +227,13 @@ type Config struct {
 	// CodecMinSize is the compression threshold in bytes: frames smaller
 	// than this ship uncompressed (0 means the codec default, 64).
 	CodecMinSize int
+	// Cores bounds the intra-PE work pool: each PE spreads its Step-1
+	// local sort, Step-3 bucket encode and run decode over up to Cores
+	// workers. 0 selects runtime.GOMAXPROCS(0); 1 forces the exact
+	// sequential path. The deterministic statistics — sorted output, LCPs,
+	// work units, model time, bytes/string — are bit-identical at every
+	// width; only wall clock (and the measured CPU channel) changes.
+	Cores int
 }
 
 // PEOutput is one PE's fragment of the sorted result.
@@ -287,6 +295,16 @@ type Stats struct {
 	// WallTable is the human-readable per-phase breakdown of the measured
 	// wall spans and overlap (nondeterministic, like OverlapMS/WallMS).
 	WallTable string
+	// Cores is the intra-PE work pool width the run executed with (the
+	// maximum over PEs; they are normally identical). Deterministic: a
+	// configuration echo, not a measurement.
+	Cores int
+	// CPUMS is the total worker-busy time in PE-milliseconds summed over
+	// all PEs and phases — the measured CPU channel of the intra-PE pool.
+	// CPUMS exceeding a phase's wall span proves parallel execution.
+	// Nondeterministic, like WallMS; zero the field before cross-backend
+	// comparisons.
+	CPUMS float64
 }
 
 // WriteSummary writes the human-readable run summary that dss-sort and
@@ -303,6 +321,7 @@ func (st Stats) WriteSummary(w io.Writer, algo Algorithm, machine string, n int)
 		st.WireBytes, st.WireBytesPerString, st.CompressionRatio)
 	fmt.Fprintf(w, "messages:         %d\n", st.Messages)
 	fmt.Fprintf(w, "work imbalance:   %.3f\n", st.Imbalance)
+	fmt.Fprintf(w, "cores:            %d per PE (%.3f PE-ms worker CPU)\n", st.Cores, st.CPUMS)
 	fmt.Fprintf(w, "wall time:        %.3f ms (slowest PE)\n", st.WallMS)
 	fmt.Fprintf(w, "overlap:          %.3f ms max per PE, %.3f PE-ms summed (comm hidden under compute)\n",
 		st.MaxOverlapMS, st.OverlapMS)
@@ -333,6 +352,8 @@ func statsFromReport(rep *stats.Report, n int64) Stats {
 		WallMS:             float64(rep.MaxWallNS()) / 1e6,
 		MergeLeadMS:        float64(rep.MaxMergeLeadNS()) / 1e6,
 		WallTable:          rep.WallTable(),
+		Cores:              int(rep.MaxCores()),
+		CPUMS:              float64(rep.TotalCPUNS()) / 1e6,
 	}
 }
 
@@ -366,6 +387,7 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 	if cfg.Model != nil {
 		machine.SetModel(*cfg.Model)
 	}
+	machine.SetPool(par.New(cfg.Cores))
 
 	local := func(pe int) [][]byte {
 		if pe < len(inputs) {

@@ -41,6 +41,7 @@ func deterministic(st Stats) Stats {
 	st.WallMS = 0
 	st.MergeLeadMS = 0
 	st.WallTable = ""
+	st.CPUMS = 0
 	return st
 }
 
