@@ -21,7 +21,7 @@ import (
 
 // benchSnapshot is the snapshot this tree's figures are pinned against
 // (written by scripts/bench.sh at the previous PR).
-const benchSnapshot = "BENCH_2026-07-30.json"
+const benchSnapshot = "BENCH_2026-08-07b.json"
 
 type snapshotFile struct {
 	Results []struct {

@@ -74,21 +74,32 @@ func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 	// seam hid under Step-4 decoding (varies run to run, unlike the
 	// deterministic metrics above).
 	b.ReportMetric(st.OverlapMS, "overlap-ms")
+	// The Step-4 merge channel: measured PE-summed CPU milliseconds spent
+	// inside the merge phase. merge-cpu-ms exceeding the merge wall time
+	// proves the partitioned merge itself ran in parallel (the two are ≈
+	// equal on single-CPU hosts or below the par-merge threshold).
+	b.ReportMetric(st.MergeCPUMS, "merge-cpu-ms")
 	// The intra-PE pool channel: the pool width the run executed with and
-	// the measured wall-clock speedup over the same configuration forced
-	// sequential (1.0 at width 1 by definition; ≈1.0 on single-CPU hosts —
-	// the harness records GOMAXPROCS alongside). Measured, like overlap-ms.
+	// the measured wall-clock speedups — whole sort and merge phase alone —
+	// over the same configuration forced sequential (1.0 at width 1 by
+	// definition; ≈1.0 on single-CPU hosts — the harness records GOMAXPROCS
+	// alongside). Measured, like overlap-ms.
+	overall, mergeUp := benchSpeedup(b, inputs, cfg, st)
 	b.ReportMetric(float64(st.Cores), "cores")
-	b.ReportMetric(benchSpeedup(b, inputs, cfg, st), "speedup-x")
+	b.ReportMetric(overall, "speedup-x")
+	b.ReportMetric(mergeUp, "merge-speedup-x")
 }
 
 // benchSpeedup measures the intra-PE pool's wall-clock speedup: the same
-// sort forced to Cores=1 divided by the benchmarked run's wall time. Only
-// meaningful (and only paid for) when the run used a wider pool.
-func benchSpeedup(b *testing.B, inputs [][][]byte, cfg stringsort.Config, st stringsort.Stats) float64 {
+// sort forced to Cores=1 divided by the benchmarked run's wall time, for
+// the whole sort and for the Step-4 merge phase alone (the partitioned
+// merge's contribution, isolated). Only meaningful (and only paid for —
+// one sequential rerun covers both ratios) when the run used a wider pool.
+func benchSpeedup(b *testing.B, inputs [][][]byte, cfg stringsort.Config, st stringsort.Stats) (overall, merge float64) {
 	b.Helper()
+	overall, merge = 1.0, 1.0
 	if st.Cores <= 1 || st.WallMS <= 0 {
-		return 1.0
+		return overall, merge
 	}
 	seq := cfg
 	seq.Cores = 1
@@ -96,10 +107,13 @@ func benchSpeedup(b *testing.B, inputs [][][]byte, cfg stringsort.Config, st str
 	if err != nil {
 		b.Fatal(err)
 	}
-	if res.Stats.WallMS <= 0 {
-		return 1.0
+	if res.Stats.WallMS > 0 {
+		overall = res.Stats.WallMS / st.WallMS
 	}
-	return res.Stats.WallMS / st.WallMS
+	if res.Stats.MergeWallMS > 0 && st.MergeWallMS > 0 {
+		merge = res.Stats.MergeWallMS / st.MergeWallMS
+	}
+	return overall, merge
 }
 
 func dnInputs(p, nPerPE, length int, ratio float64) [][][]byte {

@@ -125,9 +125,8 @@ func main() {
 	fmt.Printf("\n(total harness wall time: %v)\n", time.Since(start).Round(time.Millisecond))
 }
 
-// runOne sorts the given distributed input and returns (model time,
-// bytes/string, wire bytes/string, compression ratio).
-func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampling bool, codec string, streaming bool) (float64, float64, float64, float64) {
+// runOne sorts the given distributed input and returns its statistics.
+func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampling bool, codec string, streaming bool) stringsort.Stats {
 	res, err := stringsort.Sort(inputs, stringsort.Config{
 		Algorithm:      algo,
 		Seed:           seed,
@@ -140,31 +139,40 @@ func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampl
 		fmt.Fprintf(os.Stderr, "%v failed: %v\n", algo, err)
 		os.Exit(1)
 	}
-	st := res.Stats
-	return st.ModelTime, st.BytesPerString, st.WireBytesPerString, st.CompressionRatio
+	return res.Stats
 }
 
 // series runs all algorithms over the PE axis and prints the two panels of
 // the figure — plus, when a wire codec is selected, the wire-bytes and
 // compression-ratio panels (what actually crossed the fabric; the model
-// panels are codec-invariant).
+// panels are codec-invariant), and, unless the pool is forced sequential,
+// the measured merge-parallelism panel (PE-summed CPU ms inside the Step-4
+// merge over the merge wall ms: a ratio above 1 proves the partitioned
+// merge ran in parallel; ≈1 on single-CPU hosts or below the par-merge
+// threshold).
 func series(title string, pes []int, gen func(pe, p int) [][]byte, seed uint64, algos []stringsort.Algorithm, codec string, streaming bool) {
 	fmt.Printf("\n=== %s ===\n", title)
 	times := make(map[stringsort.Algorithm][]float64)
 	vols := make(map[stringsort.Algorithm][]float64)
 	wires := make(map[stringsort.Algorithm][]float64)
 	ratios := make(map[stringsort.Algorithm][]float64)
+	mergePar := make(map[stringsort.Algorithm][]float64)
 	for _, p := range pes {
 		inputs := make([][][]byte, p)
 		for pe := 0; pe < p; pe++ {
 			inputs[pe] = gen(pe, p)
 		}
 		for _, algo := range algos {
-			t, v, w, r := runOne(inputs, algo, seed, false, codec, streaming)
-			times[algo] = append(times[algo], t)
-			vols[algo] = append(vols[algo], v)
-			wires[algo] = append(wires[algo], w)
-			ratios[algo] = append(ratios[algo], r)
+			st := runOne(inputs, algo, seed, false, codec, streaming)
+			times[algo] = append(times[algo], st.ModelTime)
+			vols[algo] = append(vols[algo], st.BytesPerString)
+			wires[algo] = append(wires[algo], st.WireBytesPerString)
+			ratios[algo] = append(ratios[algo], st.CompressionRatio)
+			par := 1.0
+			if st.MergeWallMS > 0 {
+				par = st.MergeCPUMS / st.MergeWallMS
+			}
+			mergePar[algo] = append(mergePar[algo], par)
 		}
 	}
 	printPanel("model time (s)", pes, algos, times, "%9.4f")
@@ -172,6 +180,10 @@ func series(title string, pes []int, gen func(pe, p int) [][]byte, seed uint64, 
 	if codec != "" && codec != "none" {
 		printPanel(fmt.Sprintf("wire bytes per string (codec=%s)", codec), pes, algos, wires, "%9.1f")
 		printPanel(fmt.Sprintf("compression ratio, wire/raw (codec=%s)", codec), pes, algos, ratios, "%9.3f")
+	}
+	if benchCores != 1 {
+		printPanel("merge CPU / merge wall (measured; >1 = partitioned Step-4 merge engaged)",
+			pes, algos, mergePar, "%9.3f")
 	}
 }
 

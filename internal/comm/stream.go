@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dss/internal/stats"
+	"dss/internal/transport"
 )
 
 // DefaultStreamChunk is the frame payload bound of the chunked exchange
@@ -146,15 +147,7 @@ func (pd *ChunkPending) RecvChunk() (idx int, chunk, frame []byte, last, ok bool
 		pd.finishMember(pd.g.myIdx)
 		return pd.g.myIdx, pd.self, pd.self, true, true
 	}
-	if pd.srcs == nil {
-		pd.srcs = make([]int, 0, pd.remaining)
-	}
-	srcs := pd.srcs[:0]
-	for i, d := range pd.done {
-		if !d {
-			srcs = append(srcs, pd.g.ranks[i])
-		}
-	}
+	srcs := pd.undrained()
 	var src int
 	if pd.noOverlap {
 		src, frame, _ = pd.g.c.t.RecvAny(srcs, pd.tag)
@@ -171,6 +164,60 @@ func (pd *ChunkPending) RecvChunk() (idx int, chunk, frame []byte, last, ok bool
 			pd.lastArrival = arrived
 		}
 	}
+	return pd.deliverFrame(src, frame)
+}
+
+// TryRecvChunk is the non-blocking variant of RecvChunk: it returns the
+// next frame only if one is already receivable, reporting ok=false (with
+// no other effect) when nothing is queued right now or the underlying
+// transport does not expose the transport.AnyPoller capability. The self
+// part, accounting, completion bookkeeping and the aliasing/Release
+// contract are exactly RecvChunk's; no blocked time accrues since the call
+// never waits. Mixing TryRecvChunk and RecvChunk on one exchange is fine —
+// an early opportunistic drain shifts WHEN fragments are consumed, never
+// how they are billed.
+func (pd *ChunkPending) TryRecvChunk() (idx int, chunk, frame []byte, last, ok bool) {
+	if pd.remaining == 0 {
+		return -1, nil, nil, false, false
+	}
+	if !pd.done[pd.g.myIdx] {
+		pd.finishMember(pd.g.myIdx)
+		return pd.g.myIdx, pd.self, pd.self, true, true
+	}
+	poller, can := pd.g.c.t.(transport.AnyPoller)
+	if !can {
+		return -1, nil, nil, false, false
+	}
+	src, frame, arrived, got := poller.TryRecvAny(pd.undrained(), pd.tag)
+	if !got {
+		return -1, nil, nil, false, false
+	}
+	if !pd.noOverlap && arrived.After(pd.lastArrival) {
+		pd.lastArrival = arrived
+	}
+	return pd.deliverFrame(src, frame)
+}
+
+// Drained reports that every member's bucket has been fully delivered.
+func (pd *ChunkPending) Drained() bool { return pd.remaining == 0 }
+
+// undrained returns the ranks whose buckets are still incomplete.
+func (pd *ChunkPending) undrained() []int {
+	if pd.srcs == nil {
+		pd.srcs = make([]int, 0, pd.remaining)
+	}
+	srcs := pd.srcs[:0]
+	for i, d := range pd.done {
+		if !d {
+			srcs = append(srcs, pd.g.ranks[i])
+		}
+	}
+	return srcs
+}
+
+// deliverFrame performs the shared receive tail: flag parsing, accounting,
+// and completion bookkeeping for one received frame.
+func (pd *ChunkPending) deliverFrame(src int, frame []byte) (idx int, chunk []byte, frameOut []byte, last, ok bool) {
 	if len(frame) == 0 {
 		panic(fmt.Sprintf("comm: empty chunked-exchange frame from rank %d", src))
 	}

@@ -23,6 +23,9 @@ type FKOptions struct {
 	StreamingMerge bool
 	// StreamChunk bounds the streaming frame payload (0 = default).
 	StreamChunk int
+	// ParMergeMin gates the partitioned parallel Step-4 merge (see
+	// MSOptions.ParMergeMin).
+	ParMergeMin int
 }
 
 // FKMerge is the distributed multiway string mergesort of Fischer and
@@ -73,11 +76,14 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 	// off partially decoded runs) or eager (decode each run whole on
 	// arrival; DecodeStrings copies into its own backing).
 	var out merge.Sequence
-	var mwork int64
+	var mwork, mbusy int64
 	if opt.StreamingMerge {
 		parts := encodeParts(c, sizes, enc)
 		rs := streamRuns(c, g, parts, wire.RunStrings, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)
-		out, mwork = merge.MergeStream(rs.sources(), merge.StreamOptions{OnFirstOutput: markMergeStart(c)})
+		out, mwork, mbusy = merge.MergeStreamPar(rs.sources(), merge.StreamOptions{
+			OnFirstOutput: markMergeStart(c),
+			Pool:          c.Pool(), ParMin: opt.ParMergeMin, Snapshot: rs.snapshot(false),
+		})
 	} else {
 		runs := make([]merge.Sequence, p)
 		exchangeEncoded(c, g, sizes, enc, opt.BlockingExchange, stats.PhaseMerge, func(src int, msg []byte) {
@@ -87,9 +93,10 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 			}
 			runs[src] = merge.Sequence{Strings: rs}
 		})
-		out, mwork = merge.Merge(runs)
+		out, mwork, mbusy = merge.MergePar(c.Pool(), runs, opt.ParMergeMin)
 	}
 	c.AddWork(mwork)
+	c.AddCPU(mbusy)
 	c.SetPhase(stats.PhaseOther)
 	return Result{Strings: out.Strings}
 }

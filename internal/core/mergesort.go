@@ -61,6 +61,10 @@ type MSOptions struct {
 	// comm default). Small values force many frames; tests use them to
 	// exercise resume-mid-frame paths.
 	StreamChunk int
+	// ParMergeMin gates the partitioned parallel Step-4 merge by received
+	// strings: 0 = merge.DefaultParMin, negative = always sequential.
+	// Output and deterministic stats are pool-width-independent either way.
+	ParMergeMin int
 }
 
 // DefaultMS returns the full Algorithm MS configuration: LCP compression,
@@ -193,7 +197,7 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 	// layout has no streaming reader; that configuration (unreachable from
 	// the public API) keeps the eager seam.
 	var out merge.Sequence
-	var mwork int64
+	var mwork, mbusy int64
 	if opt.StreamingMerge && !(opt.LCPMerge && !opt.LCPCompression) {
 		format := wire.RunStrings
 		if opt.LCPCompression {
@@ -201,8 +205,9 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 		}
 		parts := encodeParts(c, sizes, enc)
 		rs := streamRuns(c, g, parts, format, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)
-		out, mwork = merge.MergeStream(rs.sources(), merge.StreamOptions{
+		out, mwork, mbusy = merge.MergeStreamPar(rs.sources(), merge.StreamOptions{
 			LCP: opt.LCPMerge, OnFirstOutput: markMergeStart(c),
+			Pool: c.Pool(), ParMin: opt.ParMergeMin, Snapshot: rs.snapshot(false),
 		})
 	} else {
 		// Eager seam: encode each bucket on the pool, posting it as its
@@ -234,14 +239,17 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 			}
 		})
 
-		// Step 4: multiway merge of the fully decoded runs.
+		// Step 4: multiway merge of the fully decoded runs, partitioned
+		// across the pool by multisequence selection (width-independent
+		// output and work by the deterministic merge-back contract).
 		if opt.LCPMerge {
-			out, mwork = merge.MergeLCP(runs)
+			out, mwork, mbusy = merge.MergeLCPPar(c.Pool(), runs, opt.ParMergeMin)
 		} else {
-			out, mwork = merge.Merge(runs)
+			out, mwork, mbusy = merge.MergePar(c.Pool(), runs, opt.ParMergeMin)
 		}
 	}
 	c.AddWork(mwork)
+	c.AddCPU(mbusy)
 	c.SetPhase(stats.PhaseOther)
 	return Result{Strings: out.Strings, LCPs: out.LCPs}
 }

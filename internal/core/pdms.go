@@ -58,6 +58,9 @@ type PDMSOptions struct {
 	StreamingMerge bool
 	// StreamChunk bounds the streaming frame payload (0 = default).
 	StreamChunk int
+	// ParMergeMin gates the partitioned parallel Step-4 merge (see
+	// MSOptions.ParMergeMin).
+	ParMergeMin int
 }
 
 // DefaultPDMS returns the evaluation configuration of algorithm PDMS:
@@ -219,12 +222,13 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 	// eager (decode each run whole on arrival; the decoders copy
 	// everything out).
 	var out merge.Sequence
-	var mwork int64
+	var mwork, mbusy int64
 	if opt.StreamingMerge {
 		parts := encodeParts(c, sizes, enc)
 		rs := streamRuns(c, g, parts, wire.RunPrefixOrigins, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)
-		out, mwork = merge.MergeStream(rs.sources(), merge.StreamOptions{
+		out, mwork, mbusy = merge.MergeStreamPar(rs.sources(), merge.StreamOptions{
 			LCP: true, Sats: true, OnFirstOutput: markMergeStart(c),
+			Pool: c.Pool(), ParMin: opt.ParMergeMin, Snapshot: rs.snapshot(true),
 		})
 	} else {
 		runs := make([]merge.Sequence, p)
@@ -245,9 +249,10 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 			}
 			runs[src] = merge.Sequence{Strings: rs, LCPs: rl, Sats: ro}
 		})
-		out, mwork = merge.MergeLCP(runs)
+		out, mwork, mbusy = merge.MergeLCPPar(c.Pool(), runs, opt.ParMergeMin)
 	}
 	c.AddWork(mwork)
+	c.AddCPU(mbusy)
 	origins := make([]Origin, len(out.Sats))
 	for i, u := range out.Sats {
 		origins[i] = satOrigin(u)

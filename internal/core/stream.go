@@ -32,6 +32,7 @@ type runStream struct {
 	c       *comm.Comm
 	pd      *comm.ChunkPending
 	readers []*wire.RunReader
+	srcs    []*streamSource // memoized pull views, shared by merge and snapshot
 }
 
 // streamRuns executes the streaming variant of the Step-3 seam: it posts
@@ -75,13 +76,68 @@ func (rs *runStream) drainOne() bool {
 	return true
 }
 
+// tryDrain opportunistically receives every already-queued fragment of the
+// exchange without blocking and reports whether the exchange is now fully
+// delivered. On transports without the non-blocking capability it receives
+// nothing and reports false (unless the exchange already drained), which
+// callers treat as "keep going sequentially". Early draining only shifts
+// WHEN fragments are consumed; the accounting is RecvChunk's.
+func (rs *runStream) tryDrain() bool {
+	for {
+		idx, chunk, frame, last, ok := rs.pd.TryRecvChunk()
+		if !ok {
+			return rs.pd.Drained()
+		}
+		rs.readers[idx].Feed(chunk)
+		rs.c.Release(frame)
+		if last {
+			rs.readers[idx].Finish()
+		}
+	}
+}
+
+// sourceList returns the memoized per-run pull views. Memoization matters:
+// the snapshot must materialize the SAME sources the merge has been
+// pulling from, or their positions would diverge.
+func (rs *runStream) sourceList() []*streamSource {
+	if rs.srcs == nil {
+		rs.srcs = make([]*streamSource, len(rs.readers))
+		for i, r := range rs.readers {
+			rs.srcs[i] = &streamSource{rs: rs, r: r}
+		}
+	}
+	return rs.srcs
+}
+
 // sources returns the pull-based views of all runs, in group rank order.
 func (rs *runStream) sources() []merge.Source {
-	out := make([]merge.Source, len(rs.readers))
-	for i, r := range rs.readers {
-		out[i] = &streamSource{rs: rs, r: r}
+	list := rs.sourceList()
+	out := make([]merge.Source, len(list))
+	for i, s := range list {
+		out[i] = s
 	}
 	return out
+}
+
+// snapshot returns the merge's handoff probe (merge.StreamOptions.Snapshot):
+// it reports ready only once every fragment of the exchange has been
+// received, at which point it decodes all remaining run tails in parallel
+// on the pool and hands the merge fully materialized remainders. The
+// decode busy time lands on the measured CPU channel (like the eager
+// seam's parallel run decode); the deterministic stats are untouched.
+func (rs *runStream) snapshot(withSats bool) func() ([]merge.Sequence, bool) {
+	return func() ([]merge.Sequence, bool) {
+		if !rs.tryDrain() {
+			return nil, false
+		}
+		srcs := rs.sourceList()
+		rem := make([]merge.Sequence, len(srcs))
+		busy := rs.c.Pool().ForEach(len(srcs), func(i int) {
+			rem[i] = srcs[i].materializeRemaining(withSats)
+		})
+		rs.c.AddCPU(busy)
+		return rem, true
+	}
 }
 
 // streamSource adapts one run's reader to merge.Source. Heads obey the
@@ -131,6 +187,40 @@ func (s *streamSource) HeadSat() uint64 { return s.cur.Sat }
 // Advance consumes the current head.
 func (s *streamSource) Advance() { s.has = false }
 
+// materializeRemaining decodes the rest of the run into a Sequence, the
+// current un-advanced head (if any) first. Only valid once the exchange is
+// fully delivered — it never drains frames, so a stalled reader is a
+// programming error, not a wait. The source is exhausted afterwards; the
+// handoff contract guarantees it is never pulled again.
+func (s *streamSource) materializeRemaining(withSats bool) merge.Sequence {
+	var seq merge.Sequence
+	add := func(it wire.Item) {
+		seq.Strings = append(seq.Strings, it.S)
+		seq.LCPs = append(seq.LCPs, it.LCP)
+		if withSats {
+			seq.Sats = append(seq.Sats, it.Sat)
+		}
+	}
+	if s.has {
+		add(s.cur)
+		s.has = false
+	}
+	for !s.eof {
+		it, ok, err := s.r.Next()
+		switch {
+		case err != nil:
+			panic("core: corrupt streamed run: " + err.Error())
+		case ok:
+			add(it)
+		case s.r.Done():
+			s.eof = true
+		default:
+			panic("core: streamed run stalled after drained exchange")
+		}
+	}
+	return seq
+}
+
 // markMergeStart returns the merge's first-output hook: it stamps the PE's
 // merge-start milestone, which the overlap reporting compares against the
 // exchange-done stamp to show merging began while frames were in flight.
@@ -144,6 +234,26 @@ func markMergeStart(c *comm.Comm) func() {
 // of every run), and the concatenation stays in rank order, independent of
 // arrival timing.
 func (rs *runStream) drainTagged() ([][]byte, []uint64) {
+	// Parallel fast path: once every fragment has arrived, the per-run
+	// decodes are independent — materialize them on the pool and
+	// concatenate in rank order. Timing cannot affect the result (or any
+	// deterministic stat): the concatenation order is fixed and no merge
+	// work is billed on this path either way.
+	if pool := rs.c.Pool(); !pool.Sequential() && rs.tryDrain() {
+		srcs := rs.sourceList()
+		rem := make([]merge.Sequence, len(srcs))
+		busy := pool.ForEach(len(srcs), func(i int) {
+			rem[i] = srcs[i].materializeRemaining(true)
+		})
+		rs.c.AddCPU(busy)
+		var ss [][]byte
+		var us []uint64
+		for _, r := range rem {
+			ss = append(ss, r.Strings...)
+			us = append(us, r.Sats...)
+		}
+		return ss, us
+	}
 	var ss [][]byte
 	var us []uint64
 	for _, src := range rs.sources() {

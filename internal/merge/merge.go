@@ -31,19 +31,22 @@ func (s Sequence) Len() int { return len(s.Strings) }
 // the output has no LCP array. Returns the merged run and the number of
 // characters inspected.
 func Merge(seqs []Sequence) (Sequence, int64) {
-	return run(seqs, false)
+	out, work, _ := MergePar(nil, seqs, -1)
+	return out, work
 }
 
 // MergeLCP performs a K-way merge with the LCP loser tree: it consumes the
 // runs' LCP arrays, inspects each character at most once, and produces the
 // LCP array of the output.
 func MergeLCP(seqs []Sequence) (Sequence, int64) {
-	return run(seqs, true)
+	out, work, _ := MergeLCPPar(nil, seqs, -1)
+	return out, work
 }
 
 // tree is the array-based loser tree over K streams (K padded to a power
 // of two with exhausted sentinel streams). Internal nodes 1..k-1 store the
-// loser stream of the comparison at that node; leaves are implicit.
+// loser stream of the comparison at that node; leaves are implicit. The
+// backing arrays come from the size-classed package pool (pool.go).
 type tree struct {
 	k      int   // number of leaves, power of two
 	loser  []int // loser[node] for node in [1,k)
@@ -52,6 +55,38 @@ type tree struct {
 	curH   []int32 // per-stream LCP of current head with the last output
 	useLCP bool
 	work   int64
+	winner int // current overall winner (valid after init/reseed)
+	state  *treeState
+}
+
+// newTree builds a tree over the sequences with pooled, zeroed state.
+// Callers position it with copy(t.pos, ...) if they start mid-run, then
+// call init (billed) or reseed (unbilled) before emit.
+func newTree(seqs []Sequence, useLCP bool) *tree {
+	k := 1
+	for k < len(seqs) {
+		k <<= 1
+	}
+	st := getTreeState(k)
+	t := &tree{
+		k:      k,
+		loser:  st.loser[:k],
+		pos:    st.pos[:len(seqs)],
+		seqs:   seqs,
+		curH:   st.curH[:len(seqs)],
+		useLCP: useLCP,
+		state:  st,
+	}
+	clear(t.pos)
+	clear(t.curH)
+	return t
+}
+
+// release returns the tree's backing arrays to the package pool. The tree
+// must not be used afterwards.
+func (t *tree) release() {
+	putTreeState(t.state)
+	t.state = nil
 }
 
 func (t *tree) head(s int) []byte {
@@ -141,110 +176,87 @@ func (t *tree) initNode(node int) int {
 	return r
 }
 
-// run merges the sequences.
-func run(seqs []Sequence, useLCP bool) (Sequence, int64) {
-	total := 0
-	streams := 0
-	anySats := false
-	for _, s := range seqs {
-		total += s.Len()
-		if s.Len() > 0 {
-			streams++
-		}
-		if s.Sats != nil {
-			anySats = true
-		}
-		if useLCP && s.Len() > 0 && s.LCPs == nil {
-			panic("merge: MergeLCP requires input LCP arrays")
-		}
-		if s.Sats != nil && len(s.Sats) != s.Len() {
-			panic("merge: satellite length mismatch")
-		}
-		if s.LCPs != nil && len(s.LCPs) != s.Len() {
-			panic("merge: lcp length mismatch")
-		}
-	}
-	out := Sequence{Strings: make([][]byte, 0, total)}
-	if useLCP {
-		out.LCPs = make([]int32, 0, total)
-	}
-	if anySats {
-		out.Sats = make([]uint64, 0, total)
-	}
-	if total == 0 {
-		return out, 0
-	}
-	// Fast path: a single non-empty stream passes through.
-	if streams == 1 {
-		for _, s := range seqs {
-			if s.Len() == 0 {
-				continue
-			}
-			out.Strings = append(out.Strings, s.Strings...)
-			if useLCP {
-				out.LCPs = append(out.LCPs, s.LCPs...)
-				if len(out.LCPs) > 0 {
-					out.LCPs[0] = 0
-				}
-			}
-			if anySats {
-				out.Sats = appendSats(out.Sats, s, s.Len())
-			}
-		}
-		return out, 0
-	}
+// init plays the initial tournament, billing its comparisons to the work
+// counter — the sequential merge's (and partition 0's) tree build.
+func (t *tree) init() {
+	t.winner = t.initNode(1)
+}
 
-	k := 1
-	for k < len(seqs) {
-		k <<= 1
-	}
-	t := &tree{
-		k:      k,
-		loser:  make([]int, k),
-		pos:    make([]int, len(seqs)),
-		seqs:   seqs,
-		curH:   make([]int32, len(seqs)),
-		useLCP: useLCP,
-	}
-	winner := t.initNode(1)
-	for produced := 0; produced < total; produced++ {
-		w := t.head(winner)
-		out.Strings = append(out.Strings, w)
-		if useLCP {
-			out.LCPs = append(out.LCPs, t.curH[winner])
-		}
-		if anySats {
-			s := seqs[winner]
-			var v uint64
-			if s.Sats != nil {
-				v = s.Sats[t.pos[winner]]
+// reseed rebuilds the tree state a sequential merge would have at the
+// current positions, WITHOUT billing any work — the entry point of
+// partitions j ≥ 1 of the parallel merge. wPrev is the output element
+// immediately preceding this partition's range (the maximal last-selected
+// element under the merge's (string, run) tie order).
+//
+// Why this reproduces the sequential state exactly: a loser tree over a
+// strict total order is a pure function of the current heads — at every
+// node the passed-up winner is the subtree minimum and loser[node] is the
+// other sub-winner, regardless of the insertion history. For the LCP tree
+// the canonical curH values are LCP(head, w) for every stream whose head
+// a comparison has not yet demoted, and LCP(loser, winner-at-its-node) for
+// the demoted ones; seeding curH[s] = LCP(head(s), wPrev) and replaying
+// the tournament restores precisely that (lessHeadsLCP's side effects
+// install the losers' values). With identical state, the subsequent emit
+// replays the sequential merge's comparison sequence character for
+// character, so the BILLED work of all partitions sums to the sequential
+// total.
+func (t *tree) reseed(wPrev []byte) {
+	if t.useLCP {
+		for s := range t.seqs {
+			if h := t.head(s); h != nil {
+				t.curH[s] = int32(strutil.LCP(h, wPrev))
+			} else {
+				t.curH[s] = 0
 			}
-			out.Sats = append(out.Sats, v)
+		}
+	}
+	// Play the tournament with the work counter parked: the comparisons
+	// (and their curH side effects) happen, the characters they inspect are
+	// bookkeeping of the partitioned schedule, not merge work — the
+	// sequential merge never performs them.
+	saved := t.work
+	t.winner = t.initNode(1)
+	t.work = saved
+}
+
+// emit produces the next n merged outputs with indexed writes into the
+// caller's (sub)slices: strings must have length ≥ n; lcps and sats may be
+// nil when the caller wants no LCP/satellite output.
+func (t *tree) emit(n int, strings [][]byte, lcps []int32, sats []uint64) {
+	w := t.winner
+	for i := 0; i < n; i++ {
+		strings[i] = t.head(w)
+		if lcps != nil {
+			lcps[i] = t.curH[w]
+		}
+		if sats != nil {
+			var v uint64
+			if t.seqs[w].Sats != nil {
+				v = t.seqs[w].Sats[t.pos[w]]
+			}
+			sats[i] = v
 		}
 		// Advance the winner's stream: the new head's LCP with the last
-		// output w is exactly the stream's own LCP entry, because w was
-		// the previous element of that stream.
-		t.pos[winner]++
-		if useLCP {
-			if t.pos[winner] < seqs[winner].Len() {
-				t.curH[winner] = seqs[winner].LCPs[t.pos[winner]]
+		// output is exactly the stream's own LCP entry, because the last
+		// output was the previous element of that stream.
+		t.pos[w]++
+		if t.useLCP {
+			if t.pos[w] < t.seqs[w].Len() {
+				t.curH[w] = t.seqs[w].LCPs[t.pos[w]]
 			} else {
-				t.curH[winner] = 0
+				t.curH[w] = 0
 			}
 		}
 		// Replay the path from the winner's leaf to the root.
-		node := (winner + t.k) / 2
+		node := (w + t.k) / 2
 		for node >= 1 {
-			if t.less(t.loser[node], winner) {
-				t.loser[node], winner = winner, t.loser[node]
+			if t.less(t.loser[node], w) {
+				t.loser[node], w = w, t.loser[node]
 			}
 			node /= 2
 		}
 	}
-	if useLCP && len(out.LCPs) > 0 {
-		out.LCPs[0] = 0
-	}
-	return out, t.work
+	t.winner = w
 }
 
 func appendSats(dst []uint64, s Sequence, n int) []uint64 {

@@ -1,0 +1,286 @@
+package merge
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dss/internal/par"
+)
+
+// genSeqs builds k sorted runs with LCP arrays (and optional satellites)
+// from a shared small alphabet, so equal strings and deep shared prefixes
+// are common.
+func genSeqs(rng *rand.Rand, k, maxLen int, sats bool) []Sequence {
+	vocab := []string{"", "a", "ab", "abc", "abcd", "ax", "b", "ba", "bab", "c", "ca", "cab"}
+	seqs := make([]Sequence, k)
+	for q := 0; q < k; q++ {
+		n := rng.Intn(maxLen + 1)
+		strs := make([][]byte, n)
+		for i := range strs {
+			strs[i] = []byte(vocab[rng.Intn(len(vocab))])
+		}
+		sortRun(strs)
+		seqs[q] = seqFromStrings(strs, sats, uint64(q))
+	}
+	return seqs
+}
+
+func sortRun(strs [][]byte) {
+	for i := 1; i < len(strs); i++ {
+		for j := i; j > 0 && bytes.Compare(strs[j], strs[j-1]) < 0; j-- {
+			strs[j], strs[j-1] = strs[j-1], strs[j]
+		}
+	}
+}
+
+func seqFromStrings(strs [][]byte, sats bool, tag uint64) Sequence {
+	s := Sequence{Strings: strs, LCPs: make([]int32, len(strs))}
+	for i := 1; i < len(strs); i++ {
+		l := 0
+		for l < len(strs[i-1]) && l < len(strs[i]) && strs[i-1][l] == strs[i][l] {
+			l++
+		}
+		s.LCPs[i] = int32(l)
+	}
+	if sats {
+		s.Sats = make([]uint64, len(strs))
+		for i := range s.Sats {
+			s.Sats[i] = tag<<32 | uint64(i)
+		}
+	}
+	return s
+}
+
+func requireEqualMerge(t *testing.T, label string, want, got Sequence, wantWork, gotWork int64) {
+	t.Helper()
+	if len(got.Strings) != len(want.Strings) {
+		t.Fatalf("%s: %d strings, want %d", label, len(got.Strings), len(want.Strings))
+	}
+	for i := range want.Strings {
+		if !bytes.Equal(got.Strings[i], want.Strings[i]) {
+			t.Fatalf("%s: string %d = %q, want %q", label, i, got.Strings[i], want.Strings[i])
+		}
+	}
+	if (got.LCPs == nil) != (want.LCPs == nil) || len(got.LCPs) != len(want.LCPs) {
+		t.Fatalf("%s: LCP shape mismatch: got %d (nil=%v) want %d (nil=%v)",
+			label, len(got.LCPs), got.LCPs == nil, len(want.LCPs), want.LCPs == nil)
+	}
+	for i := range want.LCPs {
+		if got.LCPs[i] != want.LCPs[i] {
+			t.Fatalf("%s: LCP %d = %d, want %d", label, i, got.LCPs[i], want.LCPs[i])
+		}
+	}
+	if (got.Sats == nil) != (want.Sats == nil) || len(got.Sats) != len(want.Sats) {
+		t.Fatalf("%s: satellite shape mismatch", label)
+	}
+	for i := range want.Sats {
+		if got.Sats[i] != want.Sats[i] {
+			t.Fatalf("%s: satellite %d = %d, want %d", label, i, got.Sats[i], want.Sats[i])
+		}
+	}
+	if gotWork != wantWork {
+		t.Fatalf("%s: work = %d, want %d", label, gotWork, wantWork)
+	}
+}
+
+// TestMergeParMatchesSequential pins the tentpole contract: at every pool
+// width the partitioned merge reproduces the sequential merge's strings,
+// LCP array, satellites and character work exactly. parMin=1 forces the
+// partitioned path even on tiny inputs.
+func TestMergeParMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	widths := []int{1, 2, 3, 8}
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(9)
+		sats := trial%3 == 0
+		seqs := genSeqs(rng, k, 40, sats)
+		for _, useLCP := range []bool{false, true} {
+			var want Sequence
+			var wantWork int64
+			if useLCP {
+				want, wantWork = MergeLCP(seqs)
+			} else {
+				want, wantWork = Merge(seqs)
+			}
+			for _, width := range widths {
+				pool := par.New(width)
+				var got Sequence
+				var gotWork int64
+				if useLCP {
+					got, gotWork, _ = MergeLCPPar(pool, seqs, 1)
+				} else {
+					got, gotWork, _ = MergePar(pool, seqs, 1)
+				}
+				label := fmt.Sprintf("trial=%d k=%d lcp=%v sats=%v width=%d", trial, k, useLCP, sats, width)
+				requireEqualMerge(t, label, want, got, wantWork, gotWork)
+			}
+		}
+	}
+}
+
+// TestMergeParDisabled checks the threshold gates: negative parMin always
+// runs sequentially, and inputs below the threshold do too (result still
+// identical, busy = 0 because the pool is never engaged).
+func TestMergeParDisabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seqs := genSeqs(rng, 5, 30, false)
+	want, wantWork := MergeLCP(seqs)
+	pool := par.New(4)
+
+	got, work, busy := MergeLCPPar(pool, seqs, -1)
+	requireEqualMerge(t, "parMin<0", want, got, wantWork, work)
+	if busy != 0 {
+		t.Fatalf("parMin<0: busy = %d, want 0", busy)
+	}
+
+	got, work, busy = MergeLCPPar(pool, seqs, 1<<20)
+	requireEqualMerge(t, "below threshold", want, got, wantWork, work)
+	if busy != 0 {
+		t.Fatalf("below threshold: busy = %d, want 0", busy)
+	}
+}
+
+// TestMergeStreamParHandoff drives the streaming merge over SliceSources
+// with a Snapshot that starts succeeding after a countdown of polls, and
+// checks the handed-off partitioned finish is byte-identical to the fully
+// sequential streaming merge — including the work count — at several pool
+// widths and handoff points.
+func TestMergeStreamParHandoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	widths := []int{2, 3, 8}
+	countdowns := []int{0, 1, 3}
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(6)
+		sats := trial%2 == 0
+		seqs := genSeqs(rng, k, 120, sats)
+		for _, useLCP := range []bool{false, true} {
+			opt := StreamOptions{LCP: useLCP, Sats: sats}
+			want, wantWork := MergeStream(slices(seqs), opt)
+			for _, width := range widths {
+				for _, countdown := range countdowns {
+					srcs := slices(seqs)
+					polls := 0
+					popt := opt
+					popt.Pool = par.New(width)
+					popt.ParMin = 1
+					popt.Snapshot = func() ([]Sequence, bool) {
+						if polls < countdown {
+							polls++
+							return nil, false
+						}
+						return remainders(srcs, seqs, sats), true
+					}
+					got, work, _ := MergeStreamPar(srcs, popt)
+					label := fmt.Sprintf("trial=%d k=%d lcp=%v sats=%v width=%d countdown=%d",
+						trial, k, useLCP, sats, width, countdown)
+					requireEqualMerge(t, label, want, got, wantWork, work)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeStreamParNoSnapshot pins the graceful fallback: a Snapshot that
+// never reports ready leaves the merge fully sequential and identical.
+func TestMergeStreamParNoSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seqs := genSeqs(rng, 4, 200, true)
+	opt := StreamOptions{LCP: true, Sats: true}
+	want, wantWork := MergeStream(slices(seqs), opt)
+
+	popt := opt
+	popt.Pool = par.New(4)
+	popt.ParMin = 1
+	popt.Snapshot = func() ([]Sequence, bool) { return nil, false }
+	got, work, busy := MergeStreamPar(slices(seqs), popt)
+	requireEqualMerge(t, "never-ready snapshot", want, got, wantWork, work)
+	if busy != 0 {
+		t.Fatalf("never-ready snapshot: busy = %d, want 0", busy)
+	}
+}
+
+// slices wraps the sequences in fresh SliceSources.
+func slices(seqs []Sequence) []Source {
+	srcs := make([]Source, len(seqs))
+	for i := range seqs {
+		srcs[i] = &SliceSource{Seq: seqs[i]}
+	}
+	return srcs
+}
+
+// remainders materializes what is left of every source, entry 0 being the
+// current un-advanced head — the shape core's snapshot produces.
+func remainders(srcs []Source, seqs []Sequence, sats bool) []Sequence {
+	rem := make([]Sequence, len(srcs))
+	for i, s := range srcs {
+		ss := s.(*SliceSource)
+		rem[i] = Sequence{
+			Strings: seqs[i].Strings[ss.pos:],
+			LCPs:    seqs[i].LCPs[ss.pos:],
+		}
+		if sats {
+			rem[i].Sats = seqs[i].Sats[ss.pos:]
+		}
+	}
+	return rem
+}
+
+// FuzzMergeParallelEquivalence feeds arbitrary byte soup through both the
+// sequential and partitioned merges (eager and streaming-handoff) at
+// widths 1/2/3/8 and requires identical strings, LCPs, satellites and
+// work at every width.
+func FuzzMergeParallelEquivalence(f *testing.F) {
+	f.Add([]byte("ab\x00abc\x01b\x02"), uint8(3))
+	f.Add([]byte("\x00\x00\x01aaaa\x02aaab"), uint8(5))
+	f.Add([]byte("x"), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint8) {
+		k := 1 + int(kRaw)%9
+		// Deterministically slice data into k sorted runs.
+		runs := make([][][]byte, k)
+		for i, b := range data {
+			q := int(b+byte(i)) % k
+			runs[q] = append(runs[q], data[i:i+min(len(data)-i, 1+int(b)%7)])
+		}
+		seqs := make([]Sequence, k)
+		for q := range runs {
+			sortRun(runs[q])
+			seqs[q] = seqFromStrings(runs[q], true, uint64(q))
+		}
+		for _, useLCP := range []bool{false, true} {
+			var want Sequence
+			var wantWork int64
+			if useLCP {
+				want, wantWork = MergeLCP(seqs)
+			} else {
+				want, wantWork = Merge(seqs)
+			}
+			for _, width := range []int{1, 2, 3, 8} {
+				pool := par.New(width)
+				var got Sequence
+				var gotWork int64
+				if useLCP {
+					got, gotWork, _ = MergeLCPPar(pool, seqs, 1)
+				} else {
+					got, gotWork, _ = MergePar(pool, seqs, 1)
+				}
+				label := fmt.Sprintf("eager lcp=%v width=%d", useLCP, width)
+				requireEqualMerge(t, label, want, got, wantWork, gotWork)
+			}
+			// Streaming with an immediate snapshot at width 3.
+			srcs := slices(seqs)
+			got, gotWork, _ := MergeStreamPar(srcs, StreamOptions{
+				LCP:    useLCP,
+				Sats:   true,
+				Pool:   par.New(3),
+				ParMin: 1,
+				Snapshot: func() ([]Sequence, bool) {
+					return remainders(srcs, seqs, true), true
+				},
+			})
+			swant, swork := MergeStream(slices(seqs), StreamOptions{LCP: useLCP, Sats: true})
+			requireEqualMerge(t, fmt.Sprintf("stream lcp=%v", useLCP), swant, got, swork, gotWork)
+		}
+	})
+}

@@ -63,6 +63,18 @@ type Transport interface {
 	Close() error
 }
 
+// AnyPoller is an optional capability of a Transport: a non-blocking
+// variant of RecvAny. TryRecvAny returns the earliest-arrived pending
+// message with the given tag among the listed sources, or ok=false when
+// nothing is currently receivable — it never blocks and never panics on a
+// merely-empty queue. Both built-in backends (and the codec decorator over
+// them) implement it; consumers must type-assert and degrade gracefully
+// when the capability is absent, since Transport implementations outside
+// this module are not required to provide it.
+type AnyPoller interface {
+	TryRecvAny(srcs []int, tag int) (src int, data []byte, arrived time.Time, ok bool)
+}
+
 // Fabric is a connected set of P endpoints, one per rank. In-process runs
 // (the local backend, or the TCP backend bound to loopback ports) hold all
 // endpoints of the fabric in one process; SPMD multi-process runs construct

@@ -14,7 +14,10 @@
 # compression_x record what the selected wire codec actually put on the
 # fabric (equal to bytes_per_str / 1.0 without one); overlap_ms is the
 # measured wall-clock communication time the split-phase Step-3 exchange
-# hid under Step-4 decoding.
+# hid under Step-4 decoding; merge_cpu_ms is the PE-summed CPU time inside
+# the Step-4 merge (exceeding the merge wall time proves the partitioned
+# merge ran in parallel) and merge_speedup_x the merge phase's wall-clock
+# speedup over the same run forced to cores=1.
 #
 # BENCH_CODEC decorates the benchmark transports with a wire codec
 # (none/flate/lcp). BENCH_CORES sets the intra-PE work pool width (0 =

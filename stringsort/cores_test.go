@@ -95,6 +95,78 @@ func TestCoresDeterminism(t *testing.T) {
 	}
 }
 
+// TestCoresDeterminismParMerge forces the partitioned Step-4 merge on
+// every algorithm and both merge front-ends with ParMergeMin=1 (the small
+// inputs here are far below the default threshold, so without the override
+// the parallel merge would never engage). Fragments, LCPs, origins and
+// every deterministic statistic — including the character/LCP work count
+// the merge bills — must match width 1 bit for bit at widths 2 and N: the
+// deterministic merge-back contract of the multisequence-selection
+// partitioned loser trees.
+func TestCoresDeterminismParMerge(t *testing.T) {
+	widths := []int{1, 2, runtime.GOMAXPROCS(0) + 3}
+	rng := rand.New(rand.NewSource(707))
+	inputs := genInputs(rng, 4, 200)
+	for _, algo := range Algorithms {
+		for _, streaming := range []bool{false, true} {
+			base := Config{Algorithm: algo, Seed: 23, StreamingMerge: streaming, ParMergeMin: 1}
+			base.Cores = 1
+			want, err := Sort(inputs, base)
+			if err != nil {
+				t.Fatalf("%v cores=1: %v", algo, err)
+			}
+			for _, w := range widths[1:] {
+				label := fmt.Sprintf("%v streaming=%v parmerge cores=%d", algo, streaming, w)
+				cfg := base
+				cfg.Cores = w
+				got, err := Sort(inputs, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				equalFragments(t, label, want, got)
+				if coreInvariant(want.Stats) != coreInvariant(got.Stats) {
+					t.Fatalf("%s: statistics differ from sequential:\ncores=1: %+v\ncores=%d: %+v",
+						label, want.Stats, w, got.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestCoresDeterminismParMergeLarge crosses the DEFAULT parallel-merge
+// threshold (no override: each PE receives well over merge.DefaultParMin
+// strings) under both merge front-ends, so the production configuration of
+// the partitioned merge — selection, reseeded partitions, streaming
+// handoff — is exercised end to end with width-invariant results.
+func TestCoresDeterminismParMergeLarge(t *testing.T) {
+	const p, nPerPE = 4, 5000
+	inputs := make([][][]byte, p)
+	for pe := range inputs {
+		inputs[pe] = input.Random(nPerPE, 24, 2, pe, p, int64(800+pe))
+	}
+	for _, streaming := range []bool{false, true} {
+		base := Config{Algorithm: MS, Seed: 37, Cores: 1, StreamingMerge: streaming}
+		want, err := Sort(inputs, base)
+		if err != nil {
+			t.Fatalf("streaming=%v cores=1: %v", streaming, err)
+		}
+		for _, w := range []int{2, 8} {
+			label := fmt.Sprintf("MS large streaming=%v cores=%d", streaming, w)
+			cfg := base
+			cfg.Cores = w
+			got, err := Sort(inputs, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			equalFragments(t, label, want, got)
+			if coreInvariant(want.Stats) != coreInvariant(got.Stats) {
+				t.Fatalf("%s: statistics differ:\ncores=1: %+v\ncores=%d: %+v",
+					label, want.Stats, w, got.Stats)
+			}
+		}
+	}
+}
+
 // TestCoresDeterminismLargeSort crosses strsort's parallel-sort threshold
 // (inputs big enough that the Step-1 chunked radix and forked multikey
 // quicksort actually engage) and requires the same width invariance on the

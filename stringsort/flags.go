@@ -32,6 +32,7 @@ type TuningFlags struct {
 	CodecMin     *int
 	Validate     *bool
 	Cores        *int
+	ParMergeMin  *int
 }
 
 // RegisterTuningFlags registers the shared tuning flags on fs (use
@@ -53,6 +54,7 @@ func RegisterTuningFlags(fs *flag.FlagSet) *TuningFlags {
 		CodecMin:     fs.Int("codec-min", codec.DefaultMinSize, "frames smaller than this many bytes ship uncompressed"),
 		Validate:     fs.Bool("validate", false, "run the distributed verifier after sorting"),
 		Cores:        fs.Int("cores", 0, "intra-PE work pool width (0 = GOMAXPROCS, 1 = sequential; output and model stats identical at any width)"),
+		ParMergeMin:  fs.Int("par-merge-min", 0, "minimum received strings before the Step-4 merge is partitioned across the pool (0 = default 2048, negative = always sequential)"),
 	}
 }
 
@@ -89,6 +91,7 @@ func (tf *TuningFlags) Apply(cfg *Config) error {
 	cfg.StreamChunk = *tf.MergeChunk
 	cfg.Validate = *tf.Validate
 	cfg.Cores = *tf.Cores
+	cfg.ParMergeMin = *tf.ParMergeMin
 	return nil
 }
 

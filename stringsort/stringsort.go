@@ -234,6 +234,13 @@ type Config struct {
 	// work units, model time, bytes/string — are bit-identical at every
 	// width; only wall clock (and the measured CPU channel) changes.
 	Cores int
+	// ParMergeMin gates the partitioned parallel Step-4 merge by received
+	// strings per PE: below the threshold the merge runs sequentially even
+	// on a wide pool. 0 selects the default (2048); negative disables the
+	// parallel merge entirely. Output and every deterministic statistic are
+	// identical at any value — the partitioned merge reproduces the
+	// sequential merge byte for byte (strings, LCPs, origins, work).
+	ParMergeMin int
 }
 
 // PEOutput is one PE's fragment of the sorted result.
@@ -305,6 +312,14 @@ type Stats struct {
 	// Nondeterministic, like WallMS; zero the field before cross-backend
 	// comparisons.
 	CPUMS float64
+	// MergeWallMS is the merge phase's bottleneck wall-clock span in ms.
+	// Nondeterministic, like WallMS.
+	MergeWallMS float64
+	// MergeCPUMS is the merge phase's summed worker-busy time in
+	// PE-milliseconds. MergeCPUMS exceeding MergeWallMS proves the Step-4
+	// merge itself ran in parallel (the partitioned loser trees).
+	// Nondeterministic, like CPUMS.
+	MergeCPUMS float64
 }
 
 // WriteSummary writes the human-readable run summary that dss-sort and
@@ -327,6 +342,8 @@ func (st Stats) WriteSummary(w io.Writer, algo Algorithm, machine string, n int)
 		st.MaxOverlapMS, st.OverlapMS)
 	fmt.Fprintf(w, "merge lead:       %.3f ms (first merged string ahead of the last Step-3 frame; 0 = eager seam)\n",
 		st.MergeLeadMS)
+	fmt.Fprintf(w, "merge par:        %.3f PE-ms merge CPU over %.3f ms merge wall (CPU > wall = partitioned merge engaged)\n",
+		st.MergeCPUMS, st.MergeWallMS)
 	fmt.Fprintf(w, "%s", st.PhaseTable)
 	fmt.Fprintf(w, "%s", st.WallTable)
 }
@@ -354,6 +371,8 @@ func statsFromReport(rep *stats.Report, n int64) Stats {
 		WallTable:          rep.WallTable(),
 		Cores:              int(rep.MaxCores()),
 		CPUMS:              float64(rep.TotalCPUNS()) / 1e6,
+		MergeWallMS:        float64(rep.PhaseWallNS(stats.PhaseMerge)) / 1e6,
+		MergeCPUMS:         float64(rep.PhaseCPUNS(stats.PhaseMerge)) / 1e6,
 	}
 }
 
@@ -528,6 +547,7 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		return core.FKMerge(c, ss, core.FKOptions{
 			GroupID: 1, BlockingExchange: cfg.BlockingExchange,
 			StreamingMerge: cfg.StreamingMerge, StreamChunk: cfg.StreamChunk,
+			ParMergeMin: cfg.ParMergeMin,
 		})
 	case MSSimple:
 		o := core.MSSimple()
@@ -540,6 +560,7 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		o.BlockingExchange = cfg.BlockingExchange
 		o.StreamingMerge = cfg.StreamingMerge
 		o.StreamChunk = cfg.StreamChunk
+		o.ParMergeMin = cfg.ParMergeMin
 		return core.MergeSort(c, ss, o)
 	case MS:
 		o := core.DefaultMS()
@@ -552,6 +573,7 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		o.BlockingExchange = cfg.BlockingExchange
 		o.StreamingMerge = cfg.StreamingMerge
 		o.StreamChunk = cfg.StreamChunk
+		o.ParMergeMin = cfg.ParMergeMin
 		return core.MergeSort(c, ss, o)
 	case PDMS, PDMSGolomb:
 		o := core.DefaultPDMS()
@@ -568,6 +590,7 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		o.BlockingExchange = cfg.BlockingExchange
 		o.StreamingMerge = cfg.StreamingMerge
 		o.StreamChunk = cfg.StreamChunk
+		o.ParMergeMin = cfg.ParMergeMin
 		return core.PDMS(c, ss, o)
 	default:
 		panic(fmt.Sprintf("stringsort: unknown algorithm %v", cfg.Algorithm))

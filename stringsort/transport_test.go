@@ -42,6 +42,8 @@ func deterministic(st Stats) Stats {
 	st.MergeLeadMS = 0
 	st.WallTable = ""
 	st.CPUMS = 0
+	st.MergeWallMS = 0
+	st.MergeCPUMS = 0
 	return st
 }
 
