@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -108,11 +109,12 @@ func snapshotInputs(name string) (inputs [][][]byte, algo stringsort.Algorithm, 
 
 // TestBenchSnapshotModelInvariance replays every Fig4/Fig5 cell of the
 // committed snapshot under every wire codec, under the streaming merge
-// seam AND at intra-PE pool width 4, and requires the deterministic model
-// metrics — model-ms and bytes/str, rounded at the snapshot's print
-// precision — to match bit-for-bit: neither the codec layer, nor the
-// streaming Step-3→Step-4 seam, nor the parallel work pool may be visible
-// to the paper's accounting. On the Fig4 cells it
+// seam, at intra-PE pool width 4 AND under a 32 KiB out-of-core memory
+// budget, and requires the deterministic model metrics — model-ms and
+// bytes/str, rounded at the snapshot's print precision — to match
+// bit-for-bit: neither the codec layer, nor the streaming Step-3→Step-4
+// seam, nor the parallel work pool, nor spilling runs to disk may be
+// visible to the paper's accounting. On the Fig4 cells it
 // additionally requires the compressing codecs to put strictly fewer
 // bytes per string on the wire than the raw model volume (the codec
 // subsystem's reason to exist), and — see
@@ -131,6 +133,7 @@ func TestBenchSnapshotModelInvariance(t *testing.T) {
 		t.Fatalf("snapshot has %d Fig4/Fig5 cells, want 54", len(snap.Results))
 	}
 	matched := 0
+	var spilled int64
 	for _, row := range snap.Results {
 		inputs, algo, err := snapshotInputs(row.Name)
 		if err != nil {
@@ -141,19 +144,28 @@ func TestBenchSnapshotModelInvariance(t *testing.T) {
 			codec     string
 			streaming bool
 			cores     int
+			budget    int64
 		}{
-			{"codec=none", "none", false, 0},
-			{"codec=flate", "flate", false, 0},
-			{"codec=lcp", "lcp", false, 0},
-			{"merge=streaming", "none", true, 0},
-			{"cores=4", "none", false, 4},
+			{"codec=none", "none", false, 0, 0},
+			{"codec=flate", "flate", false, 0, 0},
+			{"codec=lcp", "lcp", false, 0, 0},
+			{"merge=streaming", "none", true, 0, 0},
+			{"cores=4", "none", false, 4, 0},
+			{"mem-budget=32k", "none", false, 0, 32 << 10},
 		} {
 			res, err := stringsort.Sort(inputs, stringsort.Config{
 				Algorithm: algo, Seed: benchSeed, Codec: mode.codec,
 				StreamingMerge: mode.streaming, Cores: mode.cores,
+				MemBudget: mode.budget, SpillDir: t.TempDir(),
 			})
 			if err != nil {
 				t.Fatalf("%s %s: %v", row.Name, mode.label, err)
+			}
+			if mode.budget > 0 {
+				spilled += res.Stats.SpillBytesWritten
+				if len(res.PEs) > 0 && res.PEs[0].RunFile != "" {
+					os.RemoveAll(filepath.Dir(res.PEs[0].RunFile))
+				}
 			}
 			st := res.Stats
 			if got := benchRound(st.ModelTime * 1e3); got != row.ModelMS {
@@ -173,7 +185,10 @@ func TestBenchSnapshotModelInvariance(t *testing.T) {
 			matched++
 		}
 	}
-	t.Logf("%d/%d snapshot cells bit-identical under all codecs, the streaming merge and cores=4", matched, len(snap.Results))
+	if spilled == 0 {
+		t.Errorf("the 32 KiB budget mode never wrote a spill byte: the out-of-core path did not engage")
+	}
+	t.Logf("%d/%d snapshot cells bit-identical under all codecs, the streaming merge, cores=4 and a 32 KiB budget (%d spill bytes)", matched, len(snap.Results), spilled)
 }
 
 // TestBenchSnapshotStreamingOverlapNoRegression asserts the streaming

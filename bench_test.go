@@ -11,6 +11,7 @@ package dss_test
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 
@@ -44,6 +45,19 @@ var benchCores = func() int {
 	return n
 }()
 
+// benchMemBudget switches every benchmark to the bounded-memory
+// out-of-core pipeline (DSS_BENCH_MEMBUDGET=64k|1m|..., default empty =
+// unbounded in-RAM). The fourth model-invariant axis: model-ms and
+// bytes/str stay pinned by the snapshot test under a budget too, while
+// peak-mem-bytes and spill-bytes record what the budget actually cost.
+var benchMemBudget = func() int64 {
+	budget, err := stringsort.ParseMemBudget(os.Getenv("DSS_BENCH_MEMBUDGET"))
+	if err != nil {
+		panic(fmt.Sprintf("DSS_BENCH_MEMBUDGET: %v", err))
+	}
+	return budget
+}()
+
 func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 	b.Helper()
 	if cfg.Codec == "" {
@@ -55,6 +69,10 @@ func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 	if cfg.Cores == 0 {
 		cfg.Cores = benchCores
 	}
+	if cfg.MemBudget == 0 && benchMemBudget > 0 {
+		cfg.MemBudget = benchMemBudget
+		cfg.SpillDir = b.TempDir()
+	}
 	var st stringsort.Stats
 	for i := 0; i < b.N; i++ {
 		res, err := stringsort.Sort(inputs, cfg)
@@ -62,6 +80,11 @@ func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 			b.Fatal(err)
 		}
 		st = res.Stats
+		if len(res.PEs) > 0 && res.PEs[0].RunFile != "" {
+			// Budget mode: drop this iteration's sorted-run files before the
+			// next fills the spill dir again.
+			os.RemoveAll(filepath.Dir(res.PEs[0].RunFile))
+		}
 	}
 	b.ReportMetric(st.ModelTime*1e3, "model-ms")
 	b.ReportMetric(st.BytesPerString, "bytes/str")
@@ -88,6 +111,12 @@ func runBench(b *testing.B, inputs [][][]byte, cfg stringsort.Config) {
 	b.ReportMetric(float64(st.Cores), "cores")
 	b.ReportMetric(overall, "speedup-x")
 	b.ReportMetric(mergeUp, "merge-speedup-x")
+	// The out-of-core channel: the bottleneck PE's peak metered live bytes
+	// and the machine-wide spill traffic (writes + read-backs). Without a
+	// budget, spill-bytes is 0 and peak-mem-bytes records the unbounded
+	// footprint. Measured, like overlap-ms.
+	b.ReportMetric(float64(st.PeakMemBytes), "peak-mem-bytes")
+	b.ReportMetric(float64(st.SpillBytesWritten+st.SpillBytesRead), "spill-bytes")
 }
 
 // benchSpeedup measures the intra-PE pool's wall-clock speedup: the same

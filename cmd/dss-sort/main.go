@@ -30,8 +30,17 @@
 // bit-identical under every codec; the "wire bytes" line reports what
 // actually crossed the wire. All tuning flags (-algo, -seed,
 // -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
-// -merge, -merge-chunk, -codec, -codec-min, -validate) are shared
-// verbatim with dss-worker.
+// -merge, -merge-chunk, -codec, -codec-min, -validate, -mem-budget,
+// -spill-dir) are shared verbatim with dss-worker.
+//
+// -mem-budget engages the bounded-memory out-of-core pipeline: each PE
+// spills Step-3 runs to page files once its metered arenas exceed the
+// budget and streams its merged fragment to a sorted-run file, which
+// dss-sort then copies to the output line by line (PDMS prefixes are
+// resolved to full strings through their recorded origins). The sorted
+// output bytes are identical to an unbudgeted run; the stderr summary
+// gains a "spill:" line with the bytes written/read back and the peak
+// metered footprint.
 package main
 
 import (
@@ -40,7 +49,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
+	"dss/internal/input"
 	"dss/stringsort"
 )
 
@@ -96,18 +107,24 @@ func main() {
 	}
 
 	// Distribute lines round-robin over the PEs, like the paper's inputs.
+	// The chunked reader bounds the temporary read buffer and backs each
+	// chunk's lines with one arena instead of one allocation per line.
 	inputs := make([][][]byte, *p)
-	scanner := bufio.NewScanner(in)
-	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	lr := input.NewLineReader(in, 0)
 	n := 0
-	for scanner.Scan() {
-		line := append([]byte(nil), scanner.Bytes()...)
-		inputs[n%*p] = append(inputs[n%*p], line)
-		n++
-	}
-	if err := scanner.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	for {
+		chunk, err := lr.Next()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if chunk == nil {
+			break
+		}
+		for _, line := range chunk {
+			inputs[n%*p] = append(inputs[n%*p], line)
+			n++
+		}
 	}
 
 	cfg.Transport = tr
@@ -121,6 +138,18 @@ func main() {
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	for _, pe := range res.PEs {
+		if pe.RunFile != "" {
+			// Budget mode: the fragment lives in a sorted-run file; stream
+			// it to the output. PDMS run files hold distinguishing prefixes
+			// with origins — resolve each to its full input string, exactly
+			// like Reconstruct does for in-RAM runs (so -lcp is moot there,
+			// as prefix LCPs do not apply to full strings).
+			if err := writeRunFile(w, pe.RunFile, res.PrefixOnly, inputs, *printLCP); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
 		for i, s := range pe.Strings {
 			if *printLCP && pe.LCPs != nil {
 				fmt.Fprintf(w, "%d\t", pe.LCPs[i])
@@ -129,6 +158,41 @@ func main() {
 			w.WriteByte('\n')
 		}
 	}
+	if len(res.PEs) > 0 && res.PEs[0].RunFile != "" {
+		os.RemoveAll(filepath.Dir(res.PEs[0].RunFile))
+	}
 
 	res.Stats.WriteSummary(os.Stderr, cfg.Algorithm, fmt.Sprintf("%d PEs", *p), n)
+}
+
+// writeRunFile streams one PE's sorted-run file to the output. With
+// prefixOnly (PDMS under a budget) each item is a distinguishing prefix
+// carrying its origin, which indexes the still-resident input fragments;
+// the full string is written instead of the prefix.
+func writeRunFile(w *bufio.Writer, path string, prefixOnly bool, inputs [][][]byte, printLCP bool) error {
+	rf, err := stringsort.OpenRun(path)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	for {
+		s, lcp, origin, ok, err := rf.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if prefixOnly && rf.HasOrigins() {
+			s = inputs[origin.PE][origin.Index]
+		} else if printLCP && rf.HasLCP() {
+			fmt.Fprintf(w, "%d\t", lcp)
+		}
+		if _, err := w.Write(s); err != nil {
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
 }

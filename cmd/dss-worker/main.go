@@ -23,9 +23,16 @@
 //
 // Flag parity with dss-sort: every tuning flag of dss-sort (-algo, -seed,
 // -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
-// -merge, -merge-chunk, -codec, -codec-min, -validate) is accepted here
-// with identical semantics
+// -merge, -merge-chunk, -codec, -codec-min, -validate, -mem-budget,
+// -spill-dir) is accepted here with identical semantics
 // — both binaries register the same stringsort.RegisterTuningFlags set.
+// With -mem-budget the worker runs the bounded-memory out-of-core
+// pipeline: it spills Step-3 runs to page files under -spill-dir and
+// streams its sorted fragment from a run file to -out instead of
+// materializing it. One difference to dss-sort: a budgeted PDMS worker
+// writes the distinguishing prefixes themselves (with -lcp available),
+// since resolving an origin that lives on another rank would need the
+// whole input resident — exactly what the budget forbids.
 // Launch every worker of one job with the same -codec: RunPE decorates the
 // endpoint with the wire codec, frames are compressed on the wire, and the
 // model statistics stay bit-identical to an uncompressed run. The intentional
@@ -41,8 +48,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
+	"dss/internal/input"
 	"dss/internal/transport/tcp"
 	"dss/stringsort"
 )
@@ -103,6 +112,14 @@ func main() {
 		out = f
 	}
 	w := bufio.NewWriter(out)
+	if res.Output.RunFile != "" {
+		// Budget mode: stream the sorted-run file to the output, then
+		// remove the run directory this rank created.
+		if err := writeRunFile(w, res.Output.RunFile, *printLCP); err != nil {
+			fatal(fmt.Errorf("rank %d: %w", *rank, err))
+		}
+		os.RemoveAll(filepath.Dir(res.Output.RunFile))
+	}
 	for i, s := range res.Output.Strings {
 		if *printLCP && res.Output.LCPs != nil {
 			fmt.Fprintf(w, "%d\t", res.Output.LCPs[i])
@@ -125,23 +142,60 @@ func main() {
 	}
 }
 
-// readFragment reads the shared input and keeps the lines of the given
-// rank, distributed round-robin by line number exactly like dss-sort.
+// readFragment reads the shared input in bounded chunks and keeps the
+// lines of the given rank, distributed round-robin by line number exactly
+// like dss-sort. Kept lines are copied out of the chunk arena so the other
+// ranks' share of each chunk can be freed immediately.
 func readFragment(path string, rank, p int) (local [][]byte, total int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer f.Close()
-	scanner := bufio.NewScanner(f)
-	scanner.Buffer(make([]byte, 1<<20), 1<<24)
-	for scanner.Scan() {
-		if total%p == rank {
-			local = append(local, append([]byte(nil), scanner.Bytes()...))
+	lr := input.NewLineReader(f, 0)
+	for {
+		chunk, err := lr.Next()
+		if err != nil {
+			return nil, 0, err
 		}
-		total++
+		if chunk == nil {
+			return local, total, nil
+		}
+		for _, line := range chunk {
+			if total%p == rank {
+				local = append(local, append([]byte(nil), line...))
+			}
+			total++
+		}
 	}
-	return local, total, scanner.Err()
+}
+
+// writeRunFile streams this rank's sorted-run file to the output line by
+// line (LCP column included when asked for and present).
+func writeRunFile(w *bufio.Writer, path string, printLCP bool) error {
+	rf, err := stringsort.OpenRun(path)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	for {
+		s, lcp, _, ok, err := rf.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if printLCP && rf.HasLCP() {
+			fmt.Fprintf(w, "%d\t", lcp)
+		}
+		if _, err := w.Write(s); err != nil {
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
 }
 
 func fatal(err error) {

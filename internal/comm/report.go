@@ -11,8 +11,9 @@ import (
 // deterministic counters, the wall span, overlap and worker-CPU
 // measurements of the overlap and intra-PE parallelism models, and the two
 // wire-byte counters of the codec layer, per phase — plus the two per-PE
-// milestone timestamps of the streaming merge seam and the pool width.
-const countersPerPE = int(stats.NumPhases)*9 + 3
+// milestone timestamps of the streaming merge seam, the pool width, and
+// the three spill gauges of the out-of-core pipeline.
+const countersPerPE = int(stats.NumPhases)*9 + 6
 
 // AllgatherReport exchanges every PE's accounting snapshot and returns a
 // machine-wide report, identical on every member — the SPMD counterpart of
@@ -41,6 +42,9 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 	vals[int(stats.NumPhases)*9+0] = uint64(snap.MergeStartNS)
 	vals[int(stats.NumPhases)*9+1] = uint64(snap.ExchangeDoneNS)
 	vals[int(stats.NumPhases)*9+2] = uint64(snap.Cores)
+	vals[int(stats.NumPhases)*9+3] = uint64(snap.SpillBytesWritten)
+	vals[int(stats.NumPhases)*9+4] = uint64(snap.SpillBytesRead)
+	vals[int(stats.NumPhases)*9+5] = uint64(snap.PeakLiveBytes)
 	g := NewGroup(c, WorldRanks(c.P()), gid)
 	parts := g.Allgatherv(wire.EncodeUint64s(vals))
 	pes := make([]*stats.PE, len(parts))
@@ -68,6 +72,9 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 		pe.MergeStartNS = int64(vs[int(stats.NumPhases)*9+0])
 		pe.ExchangeDoneNS = int64(vs[int(stats.NumPhases)*9+1])
 		pe.Cores = int64(vs[int(stats.NumPhases)*9+2])
+		pe.SpillBytesWritten = int64(vs[int(stats.NumPhases)*9+3])
+		pe.SpillBytesRead = int64(vs[int(stats.NumPhases)*9+4])
+		pe.PeakLiveBytes = int64(vs[int(stats.NumPhases)*9+5])
 		pes[i] = pe
 	}
 	c.Release(parts...)

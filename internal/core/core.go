@@ -59,6 +59,10 @@ type Result struct {
 	// sorted order of the underlying full strings; use Reconstruct to
 	// materialize them.
 	PrefixOnly bool
+	// Drained counts the items streamed to the budget pipeline's run
+	// writer. Budget-mode results hold no Strings — the sorted fragment
+	// lives in the caller's sorted-run file.
+	Drained int64
 }
 
 // originSat packs an Origin into a merge satellite word.

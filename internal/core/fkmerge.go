@@ -5,6 +5,7 @@ import (
 	"dss/internal/merge"
 	"dss/internal/par"
 	"dss/internal/partition"
+	"dss/internal/spill"
 	"dss/internal/stats"
 	"dss/internal/strsort"
 	"dss/internal/wire"
@@ -26,6 +27,10 @@ type FKOptions struct {
 	// ParMergeMin gates the partitioned parallel Step-4 merge (see
 	// MSOptions.ParMergeMin).
 	ParMergeMin int
+	// Spill runs the bounded-memory out-of-core pipeline (see
+	// MSOptions.Spill); Out receives the merged run.
+	Spill *spill.Pool
+	Out   *spill.RunWriter
 }
 
 // FKMerge is the distributed multiway string mergesort of Fischer and
@@ -47,6 +52,9 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 	c.AddCPU(busy)
 	if p == 1 {
 		c.SetPhase(stats.PhaseOther)
+		if opt.Spill != nil {
+			return Result{Drained: drainSorted(opt.Out, local, nil, nil)}
+		}
 		return Result{Strings: local}
 	}
 
@@ -77,6 +85,15 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 	// arrival; DecodeStrings copies into its own backing).
 	var out merge.Sequence
 	var mwork, mbusy int64
+	if opt.Spill != nil {
+		// Bounded-memory pipeline (see MergeSort's budget branch).
+		parts := encodeParts(c, sizes, enc)
+		st := spillRuns(c, g, parts, wire.RunStrings, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge, opt.Spill)
+		n, mw := sinkMerge(c, st, false, false, opt.Out)
+		c.AddWork(mw)
+		c.SetPhase(stats.PhaseOther)
+		return Result{Drained: n}
+	}
 	if opt.StreamingMerge {
 		parts := encodeParts(c, sizes, enc)
 		rs := streamRuns(c, g, parts, wire.RunStrings, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)

@@ -7,6 +7,7 @@ import (
 
 	"dss/internal/comm"
 	"dss/internal/par"
+	"dss/internal/spill"
 	"dss/internal/stats"
 	"dss/internal/strsort"
 	"dss/internal/wire"
@@ -40,6 +41,15 @@ type HQOptions struct {
 	StreamingMerge bool
 	// StreamChunk bounds the streaming frame payload (0 = default).
 	StreamChunk int
+	// Spill selects budget mode: the sorted fragment streams into Out
+	// (strings, LCPs and origin satellites) instead of materializing a
+	// result arena. hQuick is not an out-of-core algorithm — every string
+	// moves O(log p) times and the recursion keeps the working set
+	// resident — so unlike the merge families the budget bounds only the
+	// output accumulation, not the working set (documented in the README's
+	// out-of-core section).
+	Spill *spill.Pool
+	Out   *spill.RunWriter
 }
 
 // HQuick sorts the distributed string array with hypercube quicksort
@@ -94,12 +104,21 @@ func HQuick(c *comm.Comm, ss [][]byte, opt HQOptions) Result {
 		enc := func(dst int, buf []byte) []byte {
 			return appendTagged(buf, strings, uids, perDest[dst])
 		}
+		// The placement drain and decode are hQuick's merge-equivalent: in
+		// tracked runs their busy and wall time bill to the merge channel so
+		// the bench panel's merge columns stay honest. Only measured gauges
+		// move — the sends are posted and the received bytes billed before
+		// the seam switches phases.
+		next := c.Phase()
+		if opt.TrackPhases {
+			next = stats.PhaseMerge
+		}
 		if opt.StreamingMerge {
 			// Chunked transfer into incremental readers: pairs decode as
 			// their bytes arrive, and the rank-ordered pull keeps the
 			// concatenation independent of arrival timing.
 			parts := encodeParts(c, sizes, enc)
-			rs := streamRuns(c, world, parts, wire.RunTagged, opt.BlockingExchange, opt.StreamChunk, c.Phase())
+			rs := streamRuns(c, world, parts, wire.RunTagged, opt.BlockingExchange, opt.StreamChunk, next)
 			strings, uids = rs.drainTagged()
 		} else {
 			// Encode each part on the pool (posting it as its encoder
@@ -109,7 +128,7 @@ func HQuick(c *comm.Comm, ss [][]byte, opt HQOptions) Result {
 			// independent of arrival timing.
 			perS := make([][][]byte, p)
 			perU := make([][]uint64, p)
-			exchangeEncoded(c, world, sizes, enc, opt.BlockingExchange, c.Phase(), func(src int, msg []byte) {
+			exchangeEncoded(c, world, sizes, enc, opt.BlockingExchange, next, func(src int, msg []byte) {
 				s, u, err := decodeTagged(msg)
 				if err != nil {
 					panic("hquick: corrupt redistribution payload")
@@ -176,6 +195,9 @@ func HQuick(c *comm.Comm, ss [][]byte, opt HQOptions) Result {
 	c.AddWork(work)
 	c.AddCPU(busy)
 
+	if opt.Spill != nil {
+		return Result{Drained: drainSorted(opt.Out, strings, lcp, uids)}
+	}
 	origins := make([]Origin, len(uids))
 	for i, u := range uids {
 		origins[i] = satOrigin(u)

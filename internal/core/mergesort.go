@@ -7,6 +7,7 @@ import (
 	"dss/internal/merge"
 	"dss/internal/par"
 	"dss/internal/partition"
+	"dss/internal/spill"
 	"dss/internal/stats"
 	"dss/internal/strsort"
 	"dss/internal/wire"
@@ -65,6 +66,17 @@ type MSOptions struct {
 	// strings: 0 = merge.DefaultParMin, negative = always sequential.
 	// Output and deterministic stats are pool-width-independent either way.
 	ParMergeMin int
+	// Spill, if non-nil, runs the bounded-memory out-of-core pipeline:
+	// Step 3 ships through the chunked machinery regardless of
+	// StreamingMerge, incoming runs spill to page files once the pool's
+	// budget is exceeded, and the Step-4 sink merge drains into Out
+	// (required non-nil with Spill) instead of an output arena. The
+	// deterministic statistics are untouched — they are seam-invariant and
+	// the spill decision only moves measured gauges — and the result holds
+	// Drained instead of Strings.
+	Spill *spill.Pool
+	// Out receives the merged run in budget mode (nil otherwise).
+	Out *spill.RunWriter
 }
 
 // DefaultMS returns the full Algorithm MS configuration: LCP compression,
@@ -120,6 +132,9 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 	c.AddCPU(busy)
 	if p == 1 {
 		c.SetPhase(stats.PhaseOther)
+		if opt.Spill != nil {
+			return Result{Drained: drainSorted(opt.Out, local, lcp, nil)}
+		}
 		return Result{Strings: local, LCPs: lcp}
 	}
 
@@ -198,6 +213,25 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 	// the public API) keeps the eager seam.
 	var out merge.Sequence
 	var mwork, mbusy int64
+	if opt.Spill != nil {
+		// Bounded-memory pipeline: the chunked exchange with spillable run
+		// sources and the sink-mode merge draining straight into the
+		// sorted-run writer.
+		format := wire.RunStrings
+		if opt.LCPCompression {
+			format = wire.RunStringsLCP
+		} else if opt.LCPMerge {
+			// LCPMerge without LCPCompression has no streaming wire format
+			// (unreachable from the public API).
+			panic("mergesort: the budget pipeline needs a streaming wire format")
+		}
+		parts := encodeParts(c, sizes, enc)
+		st := spillRuns(c, g, parts, format, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge, opt.Spill)
+		n, mw := sinkMerge(c, st, opt.LCPMerge, false, opt.Out)
+		c.AddWork(mw)
+		c.SetPhase(stats.PhaseOther)
+		return Result{Drained: n}
+	}
 	if opt.StreamingMerge && !(opt.LCPMerge && !opt.LCPCompression) {
 		format := wire.RunStrings
 		if opt.LCPCompression {

@@ -8,6 +8,7 @@ import (
 	"dss/internal/merge"
 	"dss/internal/par"
 	"dss/internal/partition"
+	"dss/internal/spill"
 	"dss/internal/stats"
 	"dss/internal/strsort"
 	"dss/internal/wire"
@@ -61,6 +62,13 @@ type PDMSOptions struct {
 	// ParMergeMin gates the partitioned parallel Step-4 merge (see
 	// MSOptions.ParMergeMin).
 	ParMergeMin int
+	// Spill runs the bounded-memory out-of-core pipeline (see
+	// MSOptions.Spill). Out receives the merged prefix run with its origin
+	// satellites in the run file's satellite column — budget-mode callers
+	// reconstruct full strings by origin lookup instead of core.Reconstruct
+	// (which needs the materialized result).
+	Spill *spill.Pool
+	Out   *spill.RunWriter
 }
 
 // DefaultPDMS returns the evaluation configuration of algorithm PDMS:
@@ -146,11 +154,14 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 	}
 
 	if p == 1 {
+		c.SetPhase(stats.PhaseOther)
+		if opt.Spill != nil {
+			return Result{Drained: drainSorted(opt.Out, prefixes, plcp, sats), PrefixOnly: true}
+		}
 		origins := make([]Origin, len(sats))
 		for i, u := range sats {
 			origins[i] = satOrigin(u)
 		}
-		c.SetPhase(stats.PhaseOther)
 		return Result{Strings: prefixes, LCPs: plcp, Origins: origins, PrefixOnly: true}
 	}
 
@@ -223,6 +234,16 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 	// everything out).
 	var out merge.Sequence
 	var mwork, mbusy int64
+	if opt.Spill != nil {
+		// Bounded-memory pipeline (see MergeSort's budget branch): the
+		// origins travel as the run file's satellite column.
+		parts := encodeParts(c, sizes, enc)
+		st := spillRuns(c, g, parts, wire.RunPrefixOrigins, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge, opt.Spill)
+		n, mw := sinkMergeComposite(c, st, opt.Out)
+		c.AddWork(mw)
+		c.SetPhase(stats.PhaseOther)
+		return Result{Drained: n, PrefixOnly: true}
+	}
 	if opt.StreamingMerge {
 		parts := encodeParts(c, sizes, enc)
 		rs := streamRuns(c, g, parts, wire.RunPrefixOrigins, opt.BlockingExchange, opt.StreamChunk, stats.PhaseMerge)

@@ -1,0 +1,136 @@
+package input
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+)
+
+// DefaultChunkBytes is the arena size LineReader targets per chunk when the
+// caller passes 0.
+const DefaultChunkBytes = 1 << 20
+
+// LineReader reads newline-separated strings from r in bounded chunks: each
+// Next call returns the lines whose bytes fit into one arena of roughly
+// chunkBytes, backed by a single allocation instead of one per line. It is
+// the chunked-input half of the out-of-core pipeline — the caller's peak
+// temporary footprint per call is one chunk, not the whole file — and also
+// the fast path for in-RAM runs (far fewer allocations than a
+// line-at-a-time scanner).
+//
+// A line longer than chunkBytes is returned alone in an oversized chunk;
+// lines are never split. The final line may lack a trailing newline.
+type LineReader struct {
+	br      *bufio.Reader
+	chunk   int
+	pending []byte // one read-ahead line that overflowed the previous chunk
+	eof     bool
+}
+
+// NewLineReader returns a LineReader over r with the given per-chunk byte
+// target (0 = DefaultChunkBytes).
+func NewLineReader(r io.Reader, chunkBytes int) *LineReader {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	buf := chunkBytes
+	if buf > 1<<20 {
+		buf = 1 << 20
+	}
+	if buf < 64 {
+		buf = 64
+	}
+	return &LineReader{br: bufio.NewReaderSize(r, buf), chunk: chunkBytes}
+}
+
+// Next returns the next chunk of lines, or (nil, nil) after the last line.
+// The returned slices share one arena owned by the caller; the reader keeps
+// no reference to them.
+func (lr *LineReader) Next() ([][]byte, error) {
+	var lines [][]byte
+	used := 0
+	arena := make([]byte, 0, lr.chunk)
+	if lr.pending != nil {
+		// The line that overflowed the previous chunk opens this one (its
+		// own allocation; it may exceed the chunk bound on its own, in
+		// which case it ships alone).
+		lines = append(lines, lr.pending)
+		used = len(lr.pending)
+		lr.pending = nil
+		if used >= lr.chunk {
+			return lines, nil
+		}
+	}
+	for !lr.eof && used < lr.chunk {
+		line, err := lr.br.ReadBytes('\n')
+		if err == io.EOF {
+			lr.eof = true
+		} else if err != nil {
+			return nil, err
+		}
+		line = bytes.TrimSuffix(line, []byte("\n"))
+		if len(line) == 0 && lr.eof {
+			break
+		}
+		if used+len(line) > lr.chunk {
+			if len(lines) == 0 {
+				// The line alone exceeds the bound: ship it as its own
+				// oversized chunk rather than splitting it.
+				return [][]byte{append([]byte(nil), line...)}, nil
+			}
+			// Doesn't fit: hold it for the next chunk instead of growing
+			// this arena past the bound.
+			lr.pending = append([]byte(nil), line...)
+			break
+		}
+		off := len(arena)
+		arena = append(arena, line...)
+		lines = append(lines, arena[off:len(arena):len(arena)])
+		used += len(line)
+	}
+	if len(lines) == 0 && lr.eof && lr.pending == nil {
+		return nil, nil
+	}
+	return lines, nil
+}
+
+// ReadAllLines drains the reader into one flat slice (convenience for
+// callers that keep everything resident anyway, with chunked allocation
+// behavior underneath).
+func (lr *LineReader) ReadAllLines() ([][]byte, error) {
+	var all [][]byte
+	for {
+		chunk, err := lr.Next()
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			return all, nil
+		}
+		all = append(all, chunk...)
+	}
+}
+
+// A Generator produces PE pe's fragment of a deterministic instance over p
+// PEs (all package generators fit after currying their config).
+type Generator func(pe, p int) [][]byte
+
+// Batches streams the instance that gen defines over `batches` virtual PEs,
+// invoking emit once per fragment in order and releasing each fragment
+// before generating the next. Peak memory is one fragment, so a workload of
+// any size can be written to disk under a bounded footprint (the streaming
+// mode of cmd/dss-gen). The emitted instance is exactly gen's p=batches
+// instance; for the strided generators (DN, DNSkewed, SuffixInstance) that
+// is the same global string set as the p=1 instance, merely emitted in
+// strided order.
+func Batches(gen Generator, batches int, emit func([][]byte) error) error {
+	if batches < 1 {
+		batches = 1
+	}
+	for pe := 0; pe < batches; pe++ {
+		if err := emit(gen(pe, batches)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

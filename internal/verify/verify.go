@@ -44,7 +44,6 @@ func SortednessLCP(c *comm.Comm, ss [][]byte, lcps []int32, gid int) error {
 }
 
 func sortedness(c *comm.Comm, ss [][]byte, lcps []int32, gid int) error {
-	var locallySorted bool
 	var localErr error
 	if lcps != nil {
 		if i := strutil.ValidateSortedLCP(ss, lcps); i >= 0 {
@@ -56,23 +55,36 @@ func sortedness(c *comm.Comm, ss [][]byte, lcps []int32, gid int) error {
 				localErr = fmt.Errorf("%w at index %d", ErrLCP, i)
 			}
 		}
-		locallySorted = localErr == nil
-	} else {
-		locallySorted = strutil.IsSorted(ss)
+	} else if !strutil.IsSorted(ss) {
+		localErr = ErrLocalOrder
 	}
+	var first, last []byte
+	if len(ss) > 0 {
+		first, last = ss[0], ss[len(ss)-1]
+	}
+	return boundaryCheck(c, localErr, len(ss) > 0, first, last, gid)
+}
+
+// boundaryCheck runs the collective half of the sortedness checks: every
+// PE contributes its local verdict and its fragment's first/last string,
+// and the shared scan asserts PE i's last ≤ PE i+1's first (skipping
+// empty PEs). Collective call with one Allgatherv; the materialized and
+// the streaming front-ends share it, so their message schedules are
+// identical and mixed use across PEs is allowed.
+func boundaryCheck(c *comm.Comm, localErr error, nonEmpty bool, first, last []byte, gid int) error {
 	g := comm.NewGroup(c, ranks(c.P()), gid)
 	w := wire.NewBuffer(32)
-	if locallySorted {
+	if localErr == nil {
 		w.Uvarint(1)
 	} else {
 		w.Uvarint(0)
 	}
-	if len(ss) == 0 {
+	if !nonEmpty {
 		w.Uvarint(0)
 	} else {
 		w.Uvarint(1)
-		w.BytesPrefixed(ss[0])
-		w.BytesPrefixed(ss[len(ss)-1])
+		w.BytesPrefixed(first)
+		w.BytesPrefixed(last)
 	}
 	parts := g.Allgatherv(w.Bytes())
 	var prevLast []byte
@@ -95,18 +107,70 @@ func sortedness(c *comm.Comm, ss [][]byte, lcps []int32, gid int) error {
 		if has == 0 {
 			continue
 		}
-		first, err1 := r.BytesPrefixed()
-		last, err2 := r.BytesPrefixed()
+		peFirst, err1 := r.BytesPrefixed()
+		peLast, err2 := r.BytesPrefixed()
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("verify: corrupt boundary message from PE %d", pe)
 		}
-		if havePrev && strutil.Compare(prevLast, first) > 0 && firstErr == nil {
+		if havePrev && strutil.Compare(prevLast, peFirst) > 0 && firstErr == nil {
 			firstErr = fmt.Errorf("%w (boundary before PE %d)", ErrGlobalOrder, pe)
 		}
-		prevLast = append([]byte(nil), last...)
+		prevLast = append([]byte(nil), peLast...)
 		havePrev = true
 	}
 	return firstErr
+}
+
+// StreamChecker is the out-of-core counterpart of SortednessLCP: a PE
+// whose fragment lives in a sorted-run file streams it through Add in
+// output order — no materialized array needed, memory use is two string
+// buffers — and Finish runs the same collective boundary exchange as
+// Sortedness. Add validates local order and, for runs carrying an LCP
+// column, that each stored LCP is exactly the true LCP with the previous
+// item.
+type StreamChecker struct {
+	n        int64
+	first    []byte
+	prev     []byte
+	started  bool
+	localErr error
+}
+
+// Add feeds the next item of the fragment. s may alias a reused buffer —
+// the checker copies what it keeps.
+func (sc *StreamChecker) Add(s []byte, lcp int32, hasLCP bool) {
+	if !sc.started {
+		sc.started = true
+		sc.first = append([]byte(nil), s...)
+	} else if sc.localErr == nil {
+		h := matchLen(sc.prev, s)
+		if h < len(sc.prev) && (h == len(s) || sc.prev[h] > s[h]) {
+			sc.localErr = fmt.Errorf("%w at index %d", ErrLocalOrder, sc.n)
+		} else if hasLCP && int(lcp) != h {
+			sc.localErr = fmt.Errorf("%w at index %d", ErrLCP, sc.n)
+		}
+	}
+	sc.prev = append(sc.prev[:0], s...)
+	sc.n++
+}
+
+// Finish completes the check across PE boundaries. Collective call with
+// the same message schedule as Sortedness/SortednessLCP.
+func (sc *StreamChecker) Finish(c *comm.Comm, gid int) error {
+	return boundaryCheck(c, sc.localErr, sc.started, sc.first, sc.prev, gid)
+}
+
+// matchLen returns the length of the longest common prefix of a and b.
+func matchLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
 }
 
 // LCPs checks a fragment's LCP array against direct recomputation.
@@ -124,10 +188,19 @@ func LCPs(ss [][]byte, lcps []int32) error {
 // multiset: every PE contributes (hash, count) of its local input and its
 // local output; the sums must agree. Collective call.
 func Multiset(c *comm.Comm, input, output [][]byte, gid int) error {
+	return MultisetStream(c, input, strutil.MultisetHash(output), int64(len(output)), gid)
+}
+
+// MultisetStream is Multiset with a pre-accumulated output side: callers
+// that stream their output (the out-of-core pipeline's run files) fold
+// each string through strutil.MultisetAdd and pass the accumulator here.
+// Collective call with the same message schedule as Multiset, so budgeted
+// and in-RAM PEs may mix.
+func MultisetStream(c *comm.Comm, input [][]byte, outHash uint64, outCount int64, gid int) error {
 	g := comm.NewGroup(c, ranks(c.P()), gid)
 	sums := g.AllreduceUint64([]uint64{
 		strutil.MultisetHash(input), uint64(len(input)),
-		strutil.MultisetHash(output), uint64(len(output)),
+		outHash, uint64(outCount),
 	}, comm.Sum)
 	if sums[0] != sums[2] || sums[1] != sums[3] {
 		return fmt.Errorf("%w (count %d → %d)", ErrMultiset, sums[1], sums[3])

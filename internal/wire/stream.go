@@ -100,9 +100,10 @@ type RunReader struct {
 
 	arena   []byte // decoded characters; items' strings are sub-slices
 	prev    []byte // previously decoded string, for LCP rematerialization
-	items   []Item // decoded items awaiting emission
-	norigin int    // origins attached so far (RunPrefixOrigins)
-	emitted int
+	items   []Item // decoded items awaiting emission (minus the recycled prefix)
+	base    int    // items dropped from the front of items by Recycle
+	norigin int    // origins attached so far, run-total (RunPrefixOrigins)
+	emitted int    // items handed out by Next, run-total
 }
 
 // NewRunReader returns a reader for one run in the given format.
@@ -163,8 +164,8 @@ func (r *RunReader) Next() (Item, bool, error) {
 		return Item{}, false, r.err
 	}
 	if r.emitted < r.available() {
-		it := r.items[r.emitted]
-		r.items[r.emitted] = Item{} // drop the reader's alias early
+		it := r.items[r.emitted-r.base]
+		r.items[r.emitted-r.base] = Item{} // drop the reader's alias early
 		r.emitted++
 		return it, true, nil
 	}
@@ -177,13 +178,50 @@ func (r *RunReader) Next() (Item, bool, error) {
 	return Item{}, false, nil
 }
 
-// available counts the items ready for emission: decoded strings, capped by
-// decoded origins for the composite format.
+// available counts the items ready for emission (as a run-total, comparable
+// to emitted): decoded strings, capped by decoded origins for the composite
+// format.
 func (r *RunReader) available() int {
 	if r.format == RunPrefixOrigins {
 		return r.norigin
 	}
-	return len(r.items)
+	return r.base + len(r.items)
+}
+
+// decoded returns the run-total number of strings decoded so far.
+func (r *RunReader) decoded() int { return r.base + len(r.items) }
+
+// ArenaBytes returns the live size of the reader's character arena: the
+// decoded-but-not-recycled characters a budget accountant should meter.
+// The buffered undecoded chunk bytes (bounded by the exchange frame size)
+// and the one stale arena block pinned by prev after a Recycle are the
+// documented fixed overhead on top of this figure.
+func (r *RunReader) ArenaBytes() int { return len(r.arena) }
+
+// Recycle drops the reader's references to every item already emitted and —
+// once no decoded item is left waiting — replaces the character arena with a
+// fresh one, returning the number of arena bytes released. Strings handed
+// out earlier stay valid (arenas are never overwritten, only unreferenced),
+// but a caller that recycles takes over their lifetime: the reader no longer
+// pins them. prev keeps aliasing the retired arena until the next string is
+// decoded against it; that one stale block is part of the documented budget
+// overhead allowance.
+func (r *RunReader) Recycle() int {
+	if d := r.emitted - r.base; d > 0 {
+		n := copy(r.items, r.items[d:])
+		clear(r.items[n:])
+		r.items = r.items[:n]
+		r.base = r.emitted
+	}
+	if len(r.items) > 0 {
+		// Undrained items still alias the arena; nothing to release yet.
+		return 0
+	}
+	freed := len(r.arena)
+	if freed > 0 {
+		r.arena = []byte{}
+	}
+	return freed
 }
 
 // pump advances the state machine over the buffered bytes as far as it can.
@@ -216,7 +254,7 @@ func (r *RunReader) pump() {
 			if s := r.item(); s != stOK {
 				return
 			}
-			if uint64(len(r.items)) == r.cnt {
+			if uint64(r.decoded()) == r.cnt {
 				r.st = r.afterItems()
 			}
 		case rrSkipBlob, rrSkipOblob:
@@ -261,7 +299,7 @@ func (r *RunReader) pump() {
 			if s != stOK {
 				return
 			}
-			r.items[r.norigin].Sat = v
+			r.items[r.norigin-r.base].Sat = v
 			r.norigin++
 			if uint64(r.norigin) == r.cnt {
 				r.st = rrSkipOblob
@@ -376,7 +414,7 @@ func (r *RunReader) item() status {
 	case RunStringsLCP, RunPrefixOrigins:
 		// Mirror the one-shot validation: the first string carries no
 		// prefix, and no prefix may exceed the predecessor's length.
-		if (len(r.items) == 0 && h != 0) || h > uint64(len(r.prev)) {
+		if (r.decoded() == 0 && h != 0) || h > uint64(len(r.prev)) {
 			r.err = ErrCorrupt
 			return stFail
 		}

@@ -17,18 +17,26 @@
 # hid under Step-4 decoding; merge_cpu_ms is the PE-summed CPU time inside
 # the Step-4 merge (exceeding the merge wall time proves the partitioned
 # merge ran in parallel) and merge_speedup_x the merge phase's wall-clock
-# speedup over the same run forced to cores=1.
+# speedup over the same run forced to cores=1; peak_mem_bytes is the
+# bottleneck PE's peak metered live arena bytes and spill_bytes the
+# machine-wide out-of-core traffic (page-file writes + read-backs, 0
+# without a budget) — both measured, like overlap_ms.
 #
 # BENCH_CODEC decorates the benchmark transports with a wire codec
 # (none/flate/lcp). BENCH_CORES sets the intra-PE work pool width (0 =
 # GOMAXPROCS); the snapshot metadata records the requested width alongside
 # gomaxprocs and host_cpus so a speedup_x column can always be read in
-# context. BENCH_BASELINE compares the fresh snapshot's model columns
-# against an earlier BENCH_*.json and fails on any drift — run it with a
-# codec or a pool width to prove the paper's numbers don't move:
+# context. BENCH_MEMBUDGET runs every benchmark through the bounded-memory
+# out-of-core pipeline (e.g. 64k, 1m; empty = unbounded in-RAM) — the
+# model columns are budget-invariant, while peak_mem_bytes and spill_bytes
+# record what the budget cost. BENCH_BASELINE compares the fresh
+# snapshot's model columns against an earlier BENCH_*.json and fails on
+# any drift — run it with a codec, a pool width or a budget to prove the
+# paper's numbers don't move:
 #
 #   BENCH_CODEC=flate BENCH_BASELINE=BENCH_2026-07-30.json scripts/bench.sh
 #   BENCH_CORES=4 BENCH_BASELINE=BENCH_2026-07-30.json BENCH_OUT=/tmp/b.json scripts/bench.sh
+#   BENCH_MEMBUDGET=64k BENCH_BASELINE=BENCH_2026-07-30.json BENCH_OUT=/tmp/b.json scripts/bench.sh
 #
 # Usage:
 #   scripts/bench.sh                 # Fig4 + Fig5, benchtime 3x
@@ -43,6 +51,7 @@ PATTERN="${BENCH_PATTERN:-BenchmarkFig4|BenchmarkFig5}"
 BENCHTIME="${BENCHTIME:-3x}"
 CODEC="${BENCH_CODEC:-none}"
 CORES="${BENCH_CORES:-0}"
+MEMBUDGET="${BENCH_MEMBUDGET:-}"
 BASELINE="${BENCH_BASELINE:-}"
 HOST_CPUS="$(getconf _NPROCESSORS_ONLN)"
 DATE="$(date +%Y-%m-%d)"
@@ -59,15 +68,15 @@ if [ -n "$BASELINE" ] && [ "$(readlink -f "$OUT" 2>/dev/null || echo "$OUT")" = 
     exit 1
 fi
 
-echo "running: DSS_BENCH_CODEC=$CODEC DSS_BENCH_CORES=$CORES go test -run '^$' -bench '$PATTERN' -benchmem -benchtime $BENCHTIME ." >&2
-DSS_BENCH_CODEC="$CODEC" DSS_BENCH_CORES="$CORES" go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+echo "running: DSS_BENCH_CODEC=$CODEC DSS_BENCH_CORES=$CORES DSS_BENCH_MEMBUDGET=$MEMBUDGET go test -run '^$' -bench '$PATTERN' -benchmem -benchtime $BENCHTIME ." >&2
+DSS_BENCH_CODEC="$CODEC" DSS_BENCH_CORES="$CORES" DSS_BENCH_MEMBUDGET="$MEMBUDGET" go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
 
 # The execution-shape metadata makes the measured columns (speedup_x,
 # overlap_ms) readable in context: cores is the requested intra-PE pool
 # width (0 = GOMAXPROCS), gomaxprocs is the test binary's actual value
 # (parsed from the -N benchmark name suffix), host_cpus the machine size.
 awk -v date="$DATE" -v benchtime="$BENCHTIME" -v codec="$CODEC" \
-    -v cores="$CORES" -v hostcpus="$HOST_CPUS" '
+    -v cores="$CORES" -v hostcpus="$HOST_CPUS" -v membudget="$MEMBUDGET" '
 BEGIN {
     printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"codec\": \"%s\",\n", date, benchtime, codec
     gomaxprocs = 1  # the -N name suffix is omitted when GOMAXPROCS is 1
@@ -94,6 +103,7 @@ BEGIN {
 END {
     printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu
     printf "  \"cores\": %d,\n  \"gomaxprocs\": %d,\n  \"host_cpus\": %d,\n", cores, gomaxprocs, hostcpus
+    printf "  \"mem_budget\": \"%s\",\n", membudget
     printf "  \"results\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", results[i], (i < n ? "," : "")
     printf "  ]\n}\n"

@@ -1,0 +1,381 @@
+package stringsort
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dss/internal/par"
+	"dss/internal/spill"
+	"dss/internal/transport/tcp"
+)
+
+// runPEOverTCP executes one RunPE per rank over a loopback TCP fabric and
+// fails the test on any rank error.
+func runPEOverTCP(t *testing.T, inputs [][][]byte, cfg Config) []*PERun {
+	t.Helper()
+	p := len(inputs)
+	f, err := tcp.NewLoopback(p)
+	if err != nil {
+		t.Fatalf("loopback fabric: %v", err)
+	}
+	defer f.Close()
+	runs := make([]*PERun, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for rank := 0; rank < p; rank++ {
+		go func(rank int) {
+			defer wg.Done()
+			runs[rank], errs[rank] = RunPE(f.Endpoint(rank), inputs[rank], cfg)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return runs
+}
+
+// budgetInvariant zeroes the measured fields of a Stats — the wall-clock
+// channel plus the spill gauges, which exist only in budget mode — so a
+// budgeted run's statistics can be compared bit for bit against an
+// unbudgeted run of the same input: the out-of-core pipeline must not move
+// a single deterministic counter.
+func budgetInvariant(st Stats) Stats {
+	st = deterministic(st)
+	st.PeakMemBytes = 0
+	st.SpillBytesWritten = 0
+	st.SpillBytesRead = 0
+	return st
+}
+
+// budgetCase is the tiny-budget configuration of the differential tests:
+// the per-PE input volume is several times the budget, so the merge
+// families must go through at least two spill generations (multiple page
+// flushes and page-ins) to finish at all.
+const (
+	testBudget   = 4 << 10
+	testPage     = 512
+	testChunk    = 512
+	testPEs      = 4
+	testPerPE    = 4000
+	testOverhead = testPEs*testChunk + 16*testPage // arrival overshoot + write-behind/pinned slack
+)
+
+func budgetConfig(base Config, dir string) Config {
+	base.MemBudget = testBudget
+	base.SpillPageSize = testPage
+	base.SpillDir = dir
+	return base
+}
+
+// TestBudgetDifferential sorts the same input with and without a memory
+// budget for every algorithm family and requires byte-identical output
+// (strings, LCP columns, origins), bit-identical deterministic statistics,
+// real spill traffic for the merge families, and a metered peak within
+// budget + the documented fixed overhead.
+func TestBudgetDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	inputs := genInputs(rng, testPEs, testPerPE)
+	for _, algo := range []Algorithm{FKMerge, MSSimple, MS, PDMS, PDMSGolomb, HQuick} {
+		t.Run(algo.String(), func(t *testing.T) {
+			base := Config{Algorithm: algo, Seed: 21, Validate: true, StreamChunk: testChunk}
+			ram, err := Sort(inputs, base)
+			if err != nil {
+				t.Fatalf("in-RAM sort: %v", err)
+			}
+			bu, err := Sort(inputs, budgetConfig(base, t.TempDir()))
+			if err != nil {
+				t.Fatalf("budget sort: %v", err)
+			}
+			if bu.PrefixOnly != ram.PrefixOnly {
+				t.Fatalf("PrefixOnly: budget %v, in-RAM %v", bu.PrefixOnly, ram.PrefixOnly)
+			}
+			for pe := range bu.PEs {
+				out := bu.PEs[pe]
+				if out.Strings != nil || out.RunFile == "" {
+					t.Fatalf("PE %d: budget result should hold a run file, not strings", pe)
+				}
+				ss, lcps, origins, err := ReadRunFile(out.RunFile)
+				if err != nil {
+					t.Fatalf("PE %d: read run file: %v", pe, err)
+				}
+				if int64(len(ss)) != out.RunCount {
+					t.Fatalf("PE %d: RunCount %d but file holds %d items", pe, out.RunCount, len(ss))
+				}
+				want := ram.PEs[pe]
+				if !equalOutputs(ss, want.Strings) {
+					t.Fatalf("PE %d: budget output differs from in-RAM output", pe)
+				}
+				if want.LCPs != nil {
+					if len(lcps) != len(want.LCPs) {
+						t.Fatalf("PE %d: LCP column length %d, want %d", pe, len(lcps), len(want.LCPs))
+					}
+					for i := range lcps {
+						if i > 0 && lcps[i] != want.LCPs[i] {
+							t.Fatalf("PE %d: LCP[%d] = %d, want %d", pe, i, lcps[i], want.LCPs[i])
+						}
+					}
+				}
+				if want.Origins != nil {
+					if len(origins) != len(want.Origins) {
+						t.Fatalf("PE %d: origin column length %d, want %d", pe, len(origins), len(want.Origins))
+					}
+					for i := range origins {
+						if origins[i] != want.Origins[i] {
+							t.Fatalf("PE %d: origin[%d] = %+v, want %+v", pe, i, origins[i], want.Origins[i])
+						}
+					}
+				}
+			}
+			if got, want := budgetInvariant(bu.Stats), budgetInvariant(ram.Stats); got != want {
+				t.Fatalf("deterministic stats moved under the budget:\nbudget: %+v\nin-RAM: %+v", got, want)
+			}
+			if algo == HQuick {
+				// hQuick is not out of core: the budget bounds only the
+				// output accumulation, so no spill traffic is expected.
+				return
+			}
+			if bu.Stats.SpillBytesWritten < 2*testPage {
+				t.Fatalf("expected at least two spilled pages, got %d bytes", bu.Stats.SpillBytesWritten)
+			}
+			if bu.Stats.SpillBytesRead == 0 {
+				t.Fatalf("expected spilled bytes to be paged back in")
+			}
+			if bu.Stats.PeakMemBytes == 0 {
+				t.Fatalf("expected a metered peak")
+			}
+			if bu.Stats.PeakMemBytes > testBudget+testOverhead {
+				t.Fatalf("peak %d exceeds budget %d + overhead %d", bu.Stats.PeakMemBytes, testBudget, testOverhead)
+			}
+		})
+	}
+}
+
+// TestBudgetAcrossSeamsAndTransports pins the spilling run's output and
+// deterministic statistics across the exchange seams (split vs blocking),
+// the merge front-ends (eager vs streaming flag — budget mode runs the
+// chunked machinery either way) and the transports (local vs TCP).
+func TestBudgetAcrossSeamsAndTransports(t *testing.T) {
+	rng := rand.New(rand.NewSource(809))
+	inputs := genInputs(rng, testPEs, testPerPE)
+	base := Config{Algorithm: MS, Seed: 33, Validate: true, StreamChunk: testChunk}
+
+	type variant struct {
+		name string
+		mut  func(*Config)
+	}
+	variants := []variant{
+		{"eager-local", func(c *Config) {}},
+		{"streaming-local", func(c *Config) { c.StreamingMerge = true }},
+		{"blocking-local", func(c *Config) { c.BlockingExchange = true }},
+		{"eager-tcp", func(c *Config) { c.Transport = TransportTCP }},
+	}
+	var refOut [][][]byte
+	var refStats Stats
+	for i, v := range variants {
+		cfg := budgetConfig(base, t.TempDir())
+		v.mut(&cfg)
+		res, err := Sort(inputs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		outs := make([][][]byte, len(res.PEs))
+		for pe, p := range res.PEs {
+			ss, _, _, err := ReadRunFile(p.RunFile)
+			if err != nil {
+				t.Fatalf("%s: PE %d: %v", v.name, pe, err)
+			}
+			outs[pe] = ss
+		}
+		if res.Stats.SpillBytesWritten == 0 {
+			t.Fatalf("%s: expected spill traffic", v.name)
+		}
+		if i == 0 {
+			refOut, refStats = outs, res.Stats
+			continue
+		}
+		for pe := range outs {
+			if !equalOutputs(outs[pe], refOut[pe]) {
+				t.Fatalf("%s: PE %d output differs from %s", v.name, pe, variants[0].name)
+			}
+		}
+		if got, want := budgetInvariant(res.Stats), budgetInvariant(refStats); got != want {
+			t.Fatalf("%s: deterministic stats differ from %s:\n%+v\n%+v", v.name, variants[0].name, got, want)
+		}
+	}
+}
+
+// TestBudgetSpillLifecycle checks the page-file housekeeping: page files
+// are created inside the configured spill directory while the run is in
+// flight and are all gone when Sort returns — after a successful run and
+// after a failing one alike.
+func TestBudgetSpillLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(810))
+	inputs := genInputs(rng, testPEs, testPerPE)
+	dir := t.TempDir()
+
+	var mu sync.Mutex
+	var created []string
+	var poolDirs []string
+	orig := newSpillPool
+	newSpillPool = func(cfg spill.Config, workers *par.Pool) (*spill.Pool, error) {
+		inner := cfg.Create
+		if inner == nil {
+			inner = os.Create
+		}
+		cfg.Create = func(name string) (*os.File, error) {
+			mu.Lock()
+			created = append(created, name)
+			mu.Unlock()
+			return inner(name)
+		}
+		p, err := orig(cfg, workers)
+		if p != nil {
+			mu.Lock()
+			poolDirs = append(poolDirs, p.Dir())
+			mu.Unlock()
+		}
+		return p, err
+	}
+	defer func() { newSpillPool = orig }()
+
+	res, err := Sort(inputs, budgetConfig(Config{Algorithm: MS, Seed: 5, StreamChunk: testChunk}, dir))
+	if err != nil {
+		t.Fatalf("budget sort: %v", err)
+	}
+	if len(created) == 0 {
+		t.Fatalf("expected page files to be created")
+	}
+	for _, name := range created {
+		if !strings.HasPrefix(name, dir+string(filepath.Separator)) {
+			t.Fatalf("page file %q escaped the configured spill dir %q", name, dir)
+		}
+		if _, err := os.Stat(name); !os.IsNotExist(err) {
+			t.Fatalf("page file %q survived the run", name)
+		}
+	}
+	for _, d := range poolDirs {
+		if _, err := os.Stat(d); !os.IsNotExist(err) {
+			t.Fatalf("spill dir %q survived the run", d)
+		}
+	}
+	// The sorted-run files themselves are the caller's to remove.
+	for pe, p := range res.PEs {
+		if _, err := os.Stat(p.RunFile); err != nil {
+			t.Fatalf("PE %d run file missing: %v", pe, err)
+		}
+	}
+	os.RemoveAll(runDirOf(res.PEs[0].RunFile))
+}
+
+// TestBudgetSpillFailureCleanup injects a page-file creation failure and
+// requires Sort to surface an error while still removing every spill
+// artifact and the partial sorted-run directory.
+func TestBudgetSpillFailureCleanup(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	inputs := genInputs(rng, testPEs, testPerPE)
+	dir := t.TempDir()
+
+	var mu sync.Mutex
+	var poolDirs []string
+	orig := newSpillPool
+	newSpillPool = func(cfg spill.Config, workers *par.Pool) (*spill.Pool, error) {
+		cfg.Create = func(name string) (*os.File, error) {
+			return nil, fmt.Errorf("injected create failure for %s", name)
+		}
+		p, err := orig(cfg, workers)
+		if p != nil {
+			mu.Lock()
+			poolDirs = append(poolDirs, p.Dir())
+			mu.Unlock()
+		}
+		return p, err
+	}
+	defer func() { newSpillPool = orig }()
+
+	_, err := Sort(inputs, budgetConfig(Config{Algorithm: MS, Seed: 5, StreamChunk: testChunk}, dir))
+	if err == nil || !strings.Contains(err.Error(), "injected create failure") {
+		t.Fatalf("expected the injected failure to surface, got %v", err)
+	}
+	for _, d := range poolDirs {
+		if _, err := os.Stat(d); !os.IsNotExist(err) {
+			t.Fatalf("spill dir %q survived the failed run", d)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read spill dir: %v", err)
+	}
+	for _, e := range entries {
+		t.Fatalf("artifact %q survived the failed run", e.Name())
+	}
+}
+
+// TestBudgetRunPE runs the budget pipeline through the SPMD entry point
+// over an in-process TCP fabric and diffs every rank's run file against
+// the in-process Sort of the same input.
+func TestBudgetRunPE(t *testing.T) {
+	rng := rand.New(rand.NewSource(812))
+	inputs := genInputs(rng, testPEs, testPerPE/4)
+	base := Config{Algorithm: PDMS, Seed: 9, Validate: true, StreamChunk: testChunk}
+	cfg := budgetConfig(base, t.TempDir())
+	cfg.MemBudget = 1 << 10 // quarter-size input, quarter-size budget
+
+	ram, err := Sort(inputs, base)
+	if err != nil {
+		t.Fatalf("in-RAM sort: %v", err)
+	}
+	runs := runPEOverTCP(t, inputs, cfg)
+	for pe, run := range runs {
+		ss, _, _, err := ReadRunFile(run.Output.RunFile)
+		if err != nil {
+			t.Fatalf("PE %d: %v", pe, err)
+		}
+		if !equalOutputs(ss, ram.PEs[pe].Strings) {
+			t.Fatalf("PE %d: RunPE budget output differs from Sort", pe)
+		}
+		if got, want := budgetInvariant(run.Stats), budgetInvariant(ram.Stats); got != want {
+			t.Fatalf("PE %d: stats differ:\n%+v\n%+v", pe, got, want)
+		}
+		os.RemoveAll(runDirOf(run.Output.RunFile))
+	}
+}
+
+func TestParseMemBudget(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		bad  bool
+	}{
+		{"", 0, false},
+		{"65536", 65536, false},
+		{"64k", 64 << 10, false},
+		{"64K", 64 << 10, false},
+		{"8m", 8 << 20, false},
+		{"2G", 2 << 30, false},
+		{"-1", 0, true},
+		{"64q", 0, true},
+		{"m", 0, true},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseMemBudget(c.in)
+		if c.bad {
+			if err == nil {
+				t.Fatalf("ParseMemBudget(%q): expected error, got %d", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Fatalf("ParseMemBudget(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+}

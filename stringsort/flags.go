@@ -3,6 +3,7 @@ package stringsort
 import (
 	"flag"
 	"fmt"
+	"strconv"
 
 	"dss/internal/transport/codec"
 )
@@ -33,6 +34,8 @@ type TuningFlags struct {
 	Validate     *bool
 	Cores        *int
 	ParMergeMin  *int
+	MemBudget    *string
+	SpillDir     *string
 }
 
 // RegisterTuningFlags registers the shared tuning flags on fs (use
@@ -55,6 +58,8 @@ func RegisterTuningFlags(fs *flag.FlagSet) *TuningFlags {
 		Validate:     fs.Bool("validate", false, "run the distributed verifier after sorting"),
 		Cores:        fs.Int("cores", 0, "intra-PE work pool width (0 = GOMAXPROCS, 1 = sequential; output and model stats identical at any width)"),
 		ParMergeMin:  fs.Int("par-merge-min", 0, "minimum received strings before the Step-4 merge is partitioned across the pool (0 = default 2048, negative = always sequential)"),
+		MemBudget:    fs.String("mem-budget", "", "per-PE memory budget for the out-of-core pipeline, e.g. 64m or 1g (empty = unbounded in-RAM run; output streamed to sorted-run files when set)"),
+		SpillDir:     fs.String("spill-dir", "", "directory for spill page files and sorted-run output (empty = OS temp dir; only with -mem-budget)"),
 	}
 }
 
@@ -92,7 +97,37 @@ func (tf *TuningFlags) Apply(cfg *Config) error {
 	cfg.Validate = *tf.Validate
 	cfg.Cores = *tf.Cores
 	cfg.ParMergeMin = *tf.ParMergeMin
+	budget, err := ParseMemBudget(*tf.MemBudget)
+	if err != nil {
+		return err
+	}
+	cfg.MemBudget = budget
+	cfg.SpillDir = *tf.SpillDir
 	return nil
+}
+
+// ParseMemBudget resolves a -mem-budget value: a byte count with an
+// optional binary suffix k, m or g (case-insensitive), e.g. "64m" = 64
+// MiB. Empty means 0 (no budget, in-RAM run).
+func ParseMemBudget(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	orig := s
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("stringsort: bad memory budget %q (want e.g. 65536, 64m, 1g)", orig)
+	}
+	return n * mult, nil
 }
 
 // ParseMergeMode resolves the -merge flag value: "eager" (merge fully

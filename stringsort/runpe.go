@@ -2,6 +2,7 @@ package stringsort
 
 import (
 	"fmt"
+	"os"
 
 	"dss/internal/comm"
 	"dss/internal/core"
@@ -64,7 +65,26 @@ func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
 	}
 	c := comm.NewComm(t)
 	c.SetPool(par.New(cfg.Cores))
-	res := dispatch(c, local, cfg)
+	// Budget mode: this rank streams its merged fragment to a sorted-run
+	// file in a fresh directory under cfg.SpillDir (each worker process
+	// makes its own). The directory survives on success for the caller to
+	// read; every error path below tears it down.
+	var res core.Result
+	var runDir string
+	if cfg.MemBudget > 0 {
+		var err error
+		runDir, err = os.MkdirTemp(cfg.SpillDir, "dss-runs-")
+		if err != nil {
+			return nil, fmt.Errorf("stringsort: run dir: %w", err)
+		}
+		res, err = runBudget(c, local, cfg, runPath(runDir, c.Rank()))
+		if err != nil {
+			os.RemoveAll(runDir)
+			return nil, err
+		}
+	} else {
+		res = dispatch(c, local, cfg, nil, nil)
+	}
 
 	// Snapshot and exchange the sorting statistics before any
 	// post-processing communication (validation, reconstruction), exactly
@@ -80,7 +100,7 @@ func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
 	st := statsFromReport(rep, int64(n))
 
 	prefixOnly := res.PrefixOnly
-	if prefixOnly && cfg.Reconstruct {
+	if prefixOnly && cfg.Reconstruct && cfg.MemBudget == 0 {
 		res.Strings = core.Reconstruct(c, res, local, 900)
 		res.LCPs = nil // prefix LCPs do not apply to full strings
 		res.PrefixOnly = false
@@ -88,12 +108,19 @@ func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
 	}
 
 	if cfg.Validate {
-		if err := verify.SortednessLCP(c, res.Strings, res.LCPs, 901); err != nil {
-			return nil, err
-		}
-		if !prefixOnly {
-			if err := verify.Multiset(c, local, res.Strings, 902); err != nil {
+		if cfg.MemBudget > 0 {
+			if err := validateRun(c, runPath(runDir, c.Rank()), local, prefixOnly); err != nil {
+				os.RemoveAll(runDir)
 				return nil, err
+			}
+		} else {
+			if err := verify.SortednessLCP(c, res.Strings, res.LCPs, 901); err != nil {
+				return nil, err
+			}
+			if !prefixOnly {
+				if err := verify.Multiset(c, local, res.Strings, 902); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -105,6 +132,10 @@ func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
 		for i, o := range res.Origins {
 			out.Output.Origins[i] = Origin{PE: int(o.PE), Index: int(o.Index)}
 		}
+	}
+	if cfg.MemBudget > 0 {
+		out.Output.RunFile = runPath(runDir, c.Rank())
+		out.Output.RunCount = res.Drained
 	}
 	return out, nil
 }

@@ -20,6 +20,7 @@ package stringsort
 import (
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"dss/internal/comm"
@@ -27,6 +28,7 @@ import (
 	"dss/internal/dupdetect"
 	"dss/internal/par"
 	"dss/internal/partition"
+	"dss/internal/spill"
 	"dss/internal/stats"
 	"dss/internal/transport"
 	"dss/internal/transport/codec"
@@ -241,6 +243,26 @@ type Config struct {
 	// identical at any value — the partitioned merge reproduces the
 	// sequential merge byte for byte (strings, LCPs, origins, work).
 	ParMergeMin int
+	// MemBudget > 0 switches the run to the bounded-memory out-of-core
+	// pipeline: each PE meters the Step-3 run arenas against this per-PE
+	// byte budget, spills whole runs to page files once over budget, and
+	// streams its merged fragment to a sorted-run file instead of
+	// materializing it (PEOutput.RunFile; Strings/LCPs/Origins stay nil).
+	// Sorted output bytes and the deterministic statistics are identical to
+	// the unbudgeted run; peak metered memory stays within the budget plus
+	// a fixed per-PE overhead (see README, "Out-of-core pipeline"). The
+	// Reconstruct option is ignored in budget mode — PDMS run files carry
+	// each prefix's origin for the caller to resolve. hQuick bounds only
+	// its output accumulation (its doubling working set is inherently
+	// resident).
+	MemBudget int64
+	// SpillDir is where budget-mode page files and run files live (""
+	// means the OS temp dir). Page files are removed when the run ends,
+	// on success and failure alike.
+	SpillDir string
+	// SpillPageSize bounds the spill page and run-writer buffer size in
+	// bytes (0 = the default, 256 KiB). Only meaningful with MemBudget.
+	SpillPageSize int
 }
 
 // PEOutput is one PE's fragment of the sorted result.
@@ -252,6 +274,13 @@ type PEOutput struct {
 	LCPs []int32
 	// Origins is the provenance of each string (PDMS only).
 	Origins []Origin
+	// RunFile is the PE's sorted-run output file in budget mode
+	// (Config.MemBudget > 0); Strings/LCPs/Origins are nil then. Stream it
+	// with OpenRun or load it with ReadRunFile. The file lives under
+	// Config.SpillDir until the caller removes it.
+	RunFile string
+	// RunCount is the number of items in RunFile (budget mode only).
+	RunCount int64
 }
 
 // Stats summarizes one run's cost, the two metrics of Figures 4 and 5.
@@ -320,6 +349,19 @@ type Stats struct {
 	// merge itself ran in parallel (the partitioned loser trees).
 	// Nondeterministic, like CPUMS.
 	MergeCPUMS float64
+	// PeakMemBytes is the bottleneck peak of metered live bytes over PEs
+	// in budget mode (run arenas + spill buffers); 0 without a budget.
+	// Measured, not modeled: the exact peak depends on arrival order, so
+	// zero the field before cross-backend comparisons like the other
+	// wall-clock fields.
+	PeakMemBytes int64
+	// SpillBytesWritten is the machine-wide volume written to spill page
+	// files; 0 without a budget or when the input fit in memory.
+	// Nondeterministic, like PeakMemBytes.
+	SpillBytesWritten int64
+	// SpillBytesRead is the machine-wide volume paged back in from spill
+	// files during the merge. Nondeterministic, like PeakMemBytes.
+	SpillBytesRead int64
 }
 
 // WriteSummary writes the human-readable run summary that dss-sort and
@@ -344,6 +386,8 @@ func (st Stats) WriteSummary(w io.Writer, algo Algorithm, machine string, n int)
 		st.MergeLeadMS)
 	fmt.Fprintf(w, "merge par:        %.3f PE-ms merge CPU over %.3f ms merge wall (CPU > wall = partitioned merge engaged)\n",
 		st.MergeCPUMS, st.MergeWallMS)
+	fmt.Fprintf(w, "spill:            %d bytes written, %d read back, %d peak live (0 = everything stayed in memory)\n",
+		st.SpillBytesWritten, st.SpillBytesRead, st.PeakMemBytes)
 	fmt.Fprintf(w, "%s", st.PhaseTable)
 	fmt.Fprintf(w, "%s", st.WallTable)
 }
@@ -373,6 +417,9 @@ func statsFromReport(rep *stats.Report, n int64) Stats {
 		CPUMS:              float64(rep.TotalCPUNS()) / 1e6,
 		MergeWallMS:        float64(rep.PhaseWallNS(stats.PhaseMerge)) / 1e6,
 		MergeCPUMS:         float64(rep.PhaseCPUNS(stats.PhaseMerge)) / 1e6,
+		PeakMemBytes:       rep.MaxPeakLiveBytes(),
+		SpillBytesWritten:  rep.TotalSpillBytesWritten(),
+		SpillBytesRead:     rep.TotalSpillBytesRead(),
 	}
 }
 
@@ -415,12 +462,37 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 		return nil
 	}
 	results := make([]core.Result, p)
+	// Budget mode: the PEs stream their merged fragments into sorted-run
+	// files inside one fresh directory under cfg.SpillDir. The directory
+	// outlives Sort on success (the caller reads the run files and removes
+	// it) but is torn down on every error path.
+	var runDir string
+	if cfg.MemBudget > 0 {
+		runDir, err = os.MkdirTemp(cfg.SpillDir, "dss-runs-")
+		if err != nil {
+			return nil, fmt.Errorf("stringsort: run dir: %w", err)
+		}
+	}
+	fail := func(err error) (*Result, error) {
+		if runDir != "" {
+			os.RemoveAll(runDir)
+		}
+		return nil, err
+	}
 	err = machine.Run(func(c *comm.Comm) error {
-		results[c.Rank()] = dispatch(c, local(c.Rank()), cfg)
+		if cfg.MemBudget > 0 {
+			res, err := runBudget(c, local(c.Rank()), cfg, runPath(runDir, c.Rank()))
+			if err != nil {
+				return err
+			}
+			results[c.Rank()] = res
+			return nil
+		}
+		results[c.Rank()] = dispatch(c, local(c.Rank()), cfg, nil, nil)
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	// Snapshot the sorting statistics before any post-processing
@@ -433,7 +505,9 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 	st := statsFromReport(rep, n)
 
 	prefixOnly := results[0].PrefixOnly
-	if prefixOnly && cfg.Reconstruct {
+	// Reconstruction needs the materialized prefixes; in budget mode the
+	// fragments live in run files carrying each prefix's origin instead.
+	if prefixOnly && cfg.Reconstruct && cfg.MemBudget == 0 {
 		err := machine.Run(func(c *comm.Comm) error {
 			full := core.Reconstruct(c, results[c.Rank()], local(c.Rank()), 900)
 			results[c.Rank()].Strings = full
@@ -449,6 +523,11 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 
 	if cfg.Validate {
 		err := machine.Run(func(c *comm.Comm) error {
+			if cfg.MemBudget > 0 {
+				// Stream the run file through the verifier — same collective
+				// schedule as the in-RAM checks, no materialized fragment.
+				return validateRun(c, runPath(runDir, c.Rank()), local(c.Rank()), prefixOnly)
+			}
 			res := results[c.Rank()]
 			// One fused pass validates local order and the LCP array
 			// together (the sorters already produced the LCPs; recomputing
@@ -466,7 +545,7 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 
@@ -478,6 +557,10 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 			for i, o := range results[pe].Origins {
 				peOut.Origins[i] = Origin{PE: int(o.PE), Index: int(o.Index)}
 			}
+		}
+		if cfg.MemBudget > 0 {
+			peOut.RunFile = runPath(runDir, pe)
+			peOut.RunCount = results[pe].Drained
 		}
 		out.PEs[pe] = peOut
 	}
@@ -530,8 +613,10 @@ func wrapCodec(f transport.Fabric, cfg Config) (transport.Fabric, error) {
 	return codec.WrapFabric(f, codec.Config{Name: name, MinSize: cfg.CodecMinSize})
 }
 
-// dispatch runs the configured algorithm on one PE.
-func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
+// dispatch runs the configured algorithm on one PE. sp and out are nil in
+// the default in-RAM mode; budget mode (runBudget) passes the PE's spill
+// pool and sorted-run writer through to the algorithm's budget options.
+func dispatch(c *comm.Comm, ss [][]byte, cfg Config, sp *spill.Pool, out *spill.RunWriter) core.Result {
 	sampling := partition.StringSampling
 	if cfg.CharSampling {
 		sampling = partition.CharSampling
@@ -542,12 +627,14 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 			GroupID: 1, Seed: cfg.Seed, TrackPhases: true,
 			BlockingExchange: cfg.BlockingExchange,
 			StreamingMerge:   cfg.StreamingMerge, StreamChunk: cfg.StreamChunk,
+			Spill: sp, Out: out,
 		})
 	case FKMerge:
 		return core.FKMerge(c, ss, core.FKOptions{
 			GroupID: 1, BlockingExchange: cfg.BlockingExchange,
 			StreamingMerge: cfg.StreamingMerge, StreamChunk: cfg.StreamChunk,
 			ParMergeMin: cfg.ParMergeMin,
+			Spill:       sp, Out: out,
 		})
 	case MSSimple:
 		o := core.MSSimple()
@@ -561,6 +648,8 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		o.StreamingMerge = cfg.StreamingMerge
 		o.StreamChunk = cfg.StreamChunk
 		o.ParMergeMin = cfg.ParMergeMin
+		o.Spill = sp
+		o.Out = out
 		return core.MergeSort(c, ss, o)
 	case MS:
 		o := core.DefaultMS()
@@ -574,6 +663,8 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		o.StreamingMerge = cfg.StreamingMerge
 		o.StreamChunk = cfg.StreamChunk
 		o.ParMergeMin = cfg.ParMergeMin
+		o.Spill = sp
+		o.Out = out
 		return core.MergeSort(c, ss, o)
 	case PDMS, PDMSGolomb:
 		o := core.DefaultPDMS()
@@ -591,6 +682,8 @@ func dispatch(c *comm.Comm, ss [][]byte, cfg Config) core.Result {
 		o.StreamingMerge = cfg.StreamingMerge
 		o.StreamChunk = cfg.StreamChunk
 		o.ParMergeMin = cfg.ParMergeMin
+		o.Spill = sp
+		o.Out = out
 		return core.PDMS(c, ss, o)
 	default:
 		panic(fmt.Sprintf("stringsort: unknown algorithm %v", cfg.Algorithm))
@@ -677,9 +770,36 @@ func SortStrings(ss []string, cfg Config) ([]string, error) {
 	}
 	out := make([]string, 0, len(ss))
 	for _, pe := range res.PEs {
+		if pe.RunFile != "" {
+			// Budget mode: the fragment lives in a sorted-run file.
+			err := func() error {
+				rf, err := OpenRun(pe.RunFile)
+				if err != nil {
+					return err
+				}
+				defer rf.Close()
+				for {
+					s, _, _, ok, err := rf.Next()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+					out = append(out, string(s))
+				}
+			}()
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
 		for _, s := range pe.Strings {
 			out = append(out, string(s))
 		}
+	}
+	if len(res.PEs) > 0 && res.PEs[0].RunFile != "" {
+		os.RemoveAll(runDirOf(res.PEs[0].RunFile))
 	}
 	return out, nil
 }
