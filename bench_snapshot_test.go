@@ -109,8 +109,9 @@ func snapshotInputs(name string) (inputs [][][]byte, algo stringsort.Algorithm, 
 
 // TestBenchSnapshotModelInvariance replays every Fig4/Fig5 cell of the
 // committed snapshot under every wire codec, under the streaming merge
-// seam, at intra-PE pool width 4 AND under a 32 KiB out-of-core memory
-// budget, and requires the deterministic model metrics — model-ms and
+// seam, at intra-PE pool width 4, under a 32 KiB out-of-core memory
+// budget AND with the trace recorder enabled, and requires the
+// deterministic model metrics — model-ms and
 // bytes/str, rounded at the snapshot's print precision — to match
 // bit-for-bit: neither the codec layer, nor the streaming Step-3→Step-4
 // seam, nor the parallel work pool, nor spilling runs to disk may be
@@ -145,21 +146,35 @@ func TestBenchSnapshotModelInvariance(t *testing.T) {
 			streaming bool
 			cores     int
 			budget    int64
+			trace     bool
 		}{
-			{"codec=none", "none", false, 0, 0},
-			{"codec=flate", "flate", false, 0, 0},
-			{"codec=lcp", "lcp", false, 0, 0},
-			{"merge=streaming", "none", true, 0, 0},
-			{"cores=4", "none", false, 4, 0},
-			{"mem-budget=32k", "none", false, 0, 32 << 10},
+			{"codec=none", "none", false, 0, 0, false},
+			{"codec=flate", "flate", false, 0, 0, false},
+			{"codec=lcp", "lcp", false, 0, 0, false},
+			{"merge=streaming", "none", true, 0, 0, false},
+			{"cores=4", "none", false, 4, 0, false},
+			{"mem-budget=32k", "none", false, 0, 32 << 10, false},
+			// Tracing on: the recorder hooks in every layer must be invisible
+			// to the paper's accounting — same bit-identity bar as the codecs.
+			{"trace=on", "none", true, 0, 0, true},
 		} {
+			var tracePath string
+			if mode.trace {
+				tracePath = filepath.Join(t.TempDir(), "trace.json")
+			}
 			res, err := stringsort.Sort(inputs, stringsort.Config{
 				Algorithm: algo, Seed: benchSeed, Codec: mode.codec,
 				StreamingMerge: mode.streaming, Cores: mode.cores,
 				MemBudget: mode.budget, SpillDir: t.TempDir(),
+				Trace: tracePath,
 			})
 			if err != nil {
 				t.Fatalf("%s %s: %v", row.Name, mode.label, err)
+			}
+			if mode.trace {
+				if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+					t.Errorf("%s %s: no trace file written (%v)", row.Name, mode.label, err)
+				}
 			}
 			if mode.budget > 0 {
 				spilled += res.Stats.SpillBytesWritten
@@ -188,7 +203,7 @@ func TestBenchSnapshotModelInvariance(t *testing.T) {
 	if spilled == 0 {
 		t.Errorf("the 32 KiB budget mode never wrote a spill byte: the out-of-core path did not engage")
 	}
-	t.Logf("%d/%d snapshot cells bit-identical under all codecs, the streaming merge, cores=4 and a 32 KiB budget (%d spill bytes)", matched, len(snap.Results), spilled)
+	t.Logf("%d/%d snapshot cells bit-identical under all codecs, the streaming merge, cores=4, a 32 KiB budget and tracing (%d spill bytes)", matched, len(snap.Results), spilled)
 }
 
 // TestBenchSnapshotStreamingOverlapNoRegression asserts the streaming

@@ -28,12 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"dss/internal/comm"
 	"dss/internal/input"
+	"dss/internal/profiling"
 	"dss/internal/strutil"
 	"dss/stringsort"
 )
@@ -43,6 +45,26 @@ import (
 // construction; the flag exists so wall-clock behavior can be compared
 // across widths on the full figure workloads.
 var benchCores int
+
+// benchTraceDir is the -trace value: when set, every sort of the harness
+// writes its own Chrome trace-event timeline into this directory. The
+// model panels are trace-invariant by construction.
+var benchTraceDir string
+
+// benchTraceSeq numbers the trace files in run order (the harness runs
+// its cells sequentially), so one -fig all sweep yields a browsable,
+// ordered directory of timelines.
+var benchTraceSeq int
+
+// benchTracePath names the next cell's trace file ("" when -trace is
+// unset): NNN-algo-pP.json, e.g. 017-PDMS-p32.json.
+func benchTracePath(algo stringsort.Algorithm, p int) string {
+	if benchTraceDir == "" {
+		return ""
+	}
+	benchTraceSeq++
+	return filepath.Join(benchTraceDir, fmt.Sprintf("%03d-%s-p%d.json", benchTraceSeq, algo, p))
+}
 
 type options struct {
 	fig    string
@@ -71,19 +93,32 @@ func main() {
 	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
 	flag.StringVar(&opt.codec, "codec", "none", "wire codec decorating the transport (none, flate, lcp); adds a wire-bytes panel")
 	flag.IntVar(&benchCores, "cores", 0, "intra-PE work pool width per PE (0 = GOMAXPROCS, 1 = sequential; model panels are width-invariant)")
+	flag.StringVar(&benchTraceDir, "trace", "", "write one Chrome trace-event JSON timeline per benchmark cell into this directory (created if missing; model panels are trace-invariant)")
 	mergeMode := flag.String("merge", "eager", "Step-4 front-end: eager or streaming (model panels are merge-invariant)")
+	profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	var err error
 	if opt.streaming, err = stringsort.ParseMergeMode(*mergeMode); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
+	if benchTraceDir != "" {
+		if err := os.MkdirAll(benchTraceDir, 0o777); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			profiling.Exit(2)
+		}
+	}
+	if err := profiling.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		profiling.Exit(1)
+	}
+	defer profiling.Stop()
 
 	for _, part := range strings.Split(pesFlag, ",") {
 		p, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || p < 1 {
 			fmt.Fprintf(os.Stderr, "invalid PE count %q\n", part)
-			os.Exit(2)
+			profiling.Exit(2)
 		}
 		opt.pes = append(opt.pes, p)
 	}
@@ -120,7 +155,7 @@ func main() {
 		ablationTieBreak(opt)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", opt.fig)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 	fmt.Printf("\n(total harness wall time: %v)\n", time.Since(start).Round(time.Millisecond))
 }
@@ -134,10 +169,11 @@ func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampl
 		CharSampling:   charSampling,
 		Codec:          codec,
 		StreamingMerge: streaming,
+		Trace:          benchTracePath(algo, len(inputs)),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v failed: %v\n", algo, err)
-		os.Exit(1)
+		profiling.Exit(1)
 	}
 	return res.Stats
 }
@@ -277,10 +313,11 @@ func skewExperiment(opt options) {
 				Seed:         uint64(opt.seed),
 				CharSampling: char,
 				Cores:        benchCores,
+				Trace:        benchTracePath(stringsort.MS, p),
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				profiling.Exit(1)
 			}
 			recvImbal := 1.0
 			if res.Stats.MeanBytesRecv > 0 {
@@ -308,10 +345,11 @@ func ablationOversampling(opt options) {
 			Seed:         uint64(opt.seed),
 			Oversampling: v,
 			Cores:        benchCores,
+			Trace:        benchTracePath(stringsort.MS, p),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 		fmt.Printf("%-6d %14.4f %14.1f %12.3f\n", v, res.Stats.ModelTime,
 			res.Stats.BytesPerString, res.Stats.Imbalance)
@@ -334,10 +372,11 @@ func ablationEps(opt options) {
 			Seed:      uint64(opt.seed),
 			Eps:       eps,
 			Cores:     benchCores,
+			Trace:     benchTracePath(stringsort.PDMS, p),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 		fmt.Printf("%-6.1f %14.4f %14.1f\n", eps, res.Stats.ModelTime, res.Stats.BytesPerString)
 	}
@@ -373,10 +412,11 @@ func ablationTieBreak(opt options) {
 				Seed:      uint64(opt.seed),
 				TieBreak:  tie,
 				Cores:     benchCores,
+				Trace:     benchTracePath(stringsort.MS, p),
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				profiling.Exit(1)
 			}
 			// Fragment-size imbalance: duplicates are nearly free to
 			// *transmit* under LCP compression, but they still pile onto
@@ -423,7 +463,7 @@ func ablationAlltoall(opt options) {
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				profiling.Exit(1)
 			}
 			rep := m.Report()
 			return rep.PEs[0].Total().Messages, rep.TotalBytesSent()

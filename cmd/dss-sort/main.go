@@ -31,7 +31,13 @@
 // actually crossed the wire. All tuning flags (-algo, -seed,
 // -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
 // -merge, -merge-chunk, -codec, -codec-min, -validate, -mem-budget,
-// -spill-dir) are shared verbatim with dss-worker.
+// -spill-dir, -trace, -trace-cap) are shared verbatim with dss-worker.
+//
+// Observability: -trace FILE writes a Chrome trace-event timeline of the
+// run (load in ui.perfetto.dev), -debug-addr HOST:PORT serves pprof,
+// expvar run gauges and live trace snapshots over HTTP, and
+// -cpuprofile/-memprofile write runtime/pprof profiles. See the README's
+// "Observability" section.
 //
 // -mem-budget engages the bounded-memory out-of-core pipeline: each PE
 // spills Step-3 runs to page files once its metered arenas exceed the
@@ -51,46 +57,63 @@ import (
 	"os"
 	"path/filepath"
 
+	"dss/internal/debugserve"
 	"dss/internal/input"
+	"dss/internal/profiling"
 	"dss/stringsort"
 )
 
 func main() {
 	tuning := stringsort.RegisterTuningFlags(flag.CommandLine)
+	profiling.RegisterFlags(flag.CommandLine)
 	p := flag.Int("p", 4, "number of simulated PEs")
 	inPath := flag.String("in", "", "input file (default stdin)")
 	outPath := flag.String("out", "", "output file (default stdout)")
 	printLCP := flag.Bool("lcp", false, "prefix each output line with its LCP value")
 	transportName := flag.String("transport", "local", "message substrate: local (in-process mailboxes) or tcp (real sockets)")
 	peersFlag := flag.String("peers", "", "comma-separated host:port bind addresses for the tcp transport, one per PE (sets p; default automatic loopback ports)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar run gauges and live trace snapshots on this host:port (port 0 picks one; the bound address is printed)")
 	flag.Parse()
 
 	cfg := stringsort.Config{Reconstruct: true}
 	if err := tuning.Apply(&cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 	tr, err := stringsort.ParseTransport(*transportName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 	var peers []string
 	if *peersFlag != "" {
 		if tr != stringsort.TransportTCP {
 			fmt.Fprintln(os.Stderr, "dss-sort: -peers requires -transport tcp")
-			os.Exit(2)
+			profiling.Exit(2)
 		}
 		peers = stringsort.ParsePeers(*peersFlag)
 		*p = len(peers)
 	}
+	if *debugAddr != "" {
+		bound, err := debugserve.Start(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			profiling.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dss-sort: debug endpoint listening on http://%s/debug/pprof/\n", bound)
+	}
+	if err := profiling.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		profiling.Exit(1)
+	}
+	defer profiling.Stop()
 
 	var in io.Reader = os.Stdin
 	if *inPath != "" {
 		f, err := os.Open(*inPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 		defer f.Close()
 		in = f
@@ -100,7 +123,7 @@ func main() {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 		defer f.Close()
 		out = f
@@ -116,7 +139,7 @@ func main() {
 		chunk, err := lr.Next()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 		if chunk == nil {
 			break
@@ -132,7 +155,7 @@ func main() {
 	res, err := stringsort.Sort(inputs, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		profiling.Exit(1)
 	}
 
 	w := bufio.NewWriter(out)
@@ -146,7 +169,7 @@ func main() {
 			// as prefix LCPs do not apply to full strings).
 			if err := writeRunFile(w, pe.RunFile, res.PrefixOnly, inputs, *printLCP); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				profiling.Exit(1)
 			}
 			continue
 		}

@@ -24,7 +24,7 @@
 // Flag parity with dss-sort: every tuning flag of dss-sort (-algo, -seed,
 // -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
 // -merge, -merge-chunk, -codec, -codec-min, -validate, -mem-budget,
-// -spill-dir) is accepted here with identical semantics
+// -spill-dir, -trace, -trace-cap) is accepted here with identical semantics
 // — both binaries register the same stringsort.RegisterTuningFlags set.
 // With -mem-budget the worker runs the bounded-memory out-of-core
 // pipeline: it spills Step-3 runs to page files under -spill-dir and
@@ -40,6 +40,15 @@
 // is the length of the -peers table) and no -transport (one worker per OS
 // process is by definition the TCP substrate); dss-sort in turn has no
 // -rank, -rendezvous or -stats.
+//
+// Observability: with -trace FILE every worker records its own timeline,
+// the buffers are gathered to rank 0 after the run with per-process
+// clock-offset estimation, and rank 0 alone writes the single merged
+// Chrome trace-event file (one process track per rank). -debug-addr
+// serves this worker's own pprof/expvar/live-trace HTTP endpoint; port 0
+// works — the bound address is printed at startup, before the
+// rendezvous. -cpuprofile/-memprofile write runtime/pprof profiles,
+// flushed on every exit path.
 package main
 
 import (
@@ -51,13 +60,16 @@ import (
 	"path/filepath"
 	"time"
 
+	"dss/internal/debugserve"
 	"dss/internal/input"
+	"dss/internal/profiling"
 	"dss/internal/transport/tcp"
 	"dss/stringsort"
 )
 
 func main() {
 	tuning := stringsort.RegisterTuningFlags(flag.CommandLine)
+	profiling.RegisterFlags(flag.CommandLine)
 	rank := flag.Int("rank", -1, "this worker's rank in [0, p)")
 	peersFlag := flag.String("peers", "", "comma-separated host:port peer table, one entry per rank (identical on all workers; its length is the PE count)")
 	inPath := flag.String("in", "", "input file, newline-separated strings (read fully by every worker; required)")
@@ -65,6 +77,7 @@ func main() {
 	printLCP := flag.Bool("lcp", false, "prefix each output line with its LCP value")
 	rendezvous := flag.Duration("rendezvous", 30*time.Second, "how long to wait for peers to appear")
 	statsAll := flag.Bool("stats", false, "print run statistics on every rank (default: rank 0 only)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar run gauges and live trace snapshots on this host:port (port 0 picks one; the bound address is printed at startup)")
 	flag.Parse()
 
 	cfg := stringsort.Config{Reconstruct: true}
@@ -81,6 +94,19 @@ func main() {
 	if *inPath == "" {
 		fatal(fmt.Errorf("missing -in (every worker reads the shared input file)"))
 	}
+	if *debugAddr != "" {
+		// Printed BEFORE the rendezvous so a port-0 listener is reachable
+		// while the worker is still waiting for its peers.
+		bound, err := debugserve.Start(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dss-worker: rank %d debug endpoint listening on http://%s/debug/pprof/\n", *rank, bound)
+	}
+	if err := profiling.Start(); err != nil {
+		fatal(err)
+	}
+	defer profiling.Stop()
 
 	local, total, err := readFragment(*inPath, *rank, len(peers))
 	if err != nil {
@@ -200,5 +226,5 @@ func writeRunFile(w *bufio.Writer, path string, printLCP bool) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	profiling.Exit(1)
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dss/internal/stats"
+	"dss/internal/trace"
 )
 
 // pendingOp distinguishes the collective kinds behind a Pending.
@@ -53,6 +54,30 @@ func (op pendingOp) String() string {
 		return "IAllgatherv"
 	default:
 		return fmt.Sprintf("pendingOp(%d)", int(op))
+	}
+}
+
+// postName / doneName are the interned trace labels of the collective
+// lifecycle instants, precomputed so the hot path never concatenates.
+func (op pendingOp) postName() string {
+	switch op {
+	case opAlltoallv:
+		return "IAlltoallv post"
+	case opBarrier:
+		return "IBarrier post"
+	default:
+		return "IAllgatherv post"
+	}
+}
+
+func (op pendingOp) doneName() string {
+	switch op {
+	case opAlltoallv:
+		return "IAlltoallv done"
+	case opBarrier:
+		return "IBarrier done"
+	default:
+		return "IAllgatherv done"
 	}
 }
 
@@ -384,6 +409,7 @@ func (g *Group) IAllgatherv(data []byte) *Pending {
 // collective: a fresh tag, the current accounting phase, and the wall clock
 // for the overlap measurement.
 func (g *Group) newPending(op pendingOp) *Pending {
+	g.c.tr.Instant(trace.TrackControl, op.postName(), 0, 0)
 	now := time.Now()
 	return &Pending{
 		g:      g,
@@ -433,9 +459,17 @@ func (pd *Pending) complete() {
 	if pd.noOverlap {
 		return
 	}
-	if ov := pd.lastArrival.Sub(pd.posted) - pd.waited; ov > 0 {
+	ov := pd.lastArrival.Sub(pd.posted) - pd.waited
+	if ov > 0 {
 		pd.g.c.st.Overlap[pd.phase] += ov.Nanoseconds()
 	}
+	// Arg carries the overlap credit in nanoseconds (clamped at 0), so the
+	// timeline shows per-collective how much communication stayed hidden.
+	ovNS := ov.Nanoseconds()
+	if ovNS < 0 {
+		ovNS = 0
+	}
+	pd.g.c.tr.Instant(trace.TrackControl, pd.op.doneName(), ovNS, 0)
 }
 
 // sendIdx / sendTag / recvIdx / recvTag move one message of the collective,

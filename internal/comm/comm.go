@@ -33,6 +33,7 @@ import (
 
 	"dss/internal/par"
 	"dss/internal/stats"
+	"dss/internal/trace"
 	"dss/internal/transport"
 	"dss/internal/transport/local"
 )
@@ -51,6 +52,7 @@ type Machine struct {
 	pes    []*stats.PE
 	model  stats.CostModel
 	pool   *par.Pool
+	recs   []*trace.Recorder // per-PE timeline recorders; nil = tracing off
 }
 
 // New creates a machine with p PEs over the in-process mailbox transport
@@ -87,6 +89,32 @@ func (m *Machine) SetModel(model stats.CostModel) { m.model = model }
 // bound on a single host: the PE goroutines themselves already occupy
 // cores, and the pool's token count caps the extra helpers.
 func (m *Machine) SetPool(p *par.Pool) { m.pool = p }
+
+// EnableTrace creates one timeline recorder per PE (capacity <= 0 selects
+// the default ring size) so subsequent Run calls record phase spans,
+// collective posts, transport frame instants and worker spans. The
+// recorders only observe — the deterministic statistics are bit-identical
+// with tracing on or off.
+func (m *Machine) EnableTrace(capacity int) {
+	m.recs = make([]*trace.Recorder, m.P())
+	for rank := range m.recs {
+		m.recs[rank] = trace.New(rank, capacity)
+	}
+}
+
+// TraceBuffers snapshots the per-PE recorders created by EnableTrace; nil
+// when tracing was never enabled. In-process PEs share one clock, so the
+// buffers carry zero clock offsets.
+func (m *Machine) TraceBuffers() []*trace.Buffer {
+	if m.recs == nil {
+		return nil
+	}
+	bufs := make([]*trace.Buffer, len(m.recs))
+	for i, r := range m.recs {
+		bufs[i] = r.Snapshot()
+	}
+	return bufs
+}
 
 // Report returns the accounting report accumulated so far.
 func (m *Machine) Report() *stats.Report {
@@ -129,6 +157,9 @@ func (m *Machine) Run(f func(c *Comm) error) error {
 			}()
 			c := newComm(m.fabric.Endpoint(rank), m.pes[rank])
 			c.SetPool(m.pool)
+			if m.recs != nil {
+				c.SetTrace(m.recs[rank])
+			}
 			errs[rank] = f(c)
 			c.flushWall()
 		}(rank)
@@ -147,8 +178,9 @@ func (m *Machine) Run(f func(c *Comm) error) error {
 type Comm struct {
 	t          transport.Transport
 	st         *stats.PE
-	wm         wireMeter // non-nil when the transport meters wire bytes itself
-	pool       *par.Pool // intra-PE work pool; nil = sequential
+	wm         wireMeter       // non-nil when the transport meters wire bytes itself
+	tr         *trace.Recorder // timeline recorder; nil = tracing off
+	pool       *par.Pool       // intra-PE work pool; nil = sequential
 	phase      stats.Phase
 	phaseStart time.Time // start of the current phase's wall span
 }
@@ -162,6 +194,13 @@ type Comm struct {
 type wireMeter interface {
 	BindWireStats(*stats.PE)
 	SetWirePhase(stats.Phase)
+}
+
+// traceBinder is the optional transport interface of decorators that
+// record their own timeline events: the codec decorator implements it to
+// put post-codec frame sizes next to the raw volume on the timeline.
+type traceBinder interface {
+	BindTrace(*trace.Recorder)
 }
 
 // NewComm wraps a single connected transport endpoint for SPMD runs where
@@ -201,8 +240,31 @@ func (c *Comm) SetPhase(ph stats.Phase) stats.Phase {
 	if c.wm != nil {
 		c.wm.SetWirePhase(ph)
 	}
+	if c.tr != nil {
+		c.tr.End(trace.TrackControl, old.String())
+		c.tr.Begin(trace.TrackControl, ph.String())
+	}
+	if trace.LiveOn() {
+		trace.Live.SetPhase(c.t.Rank(), ph.String())
+	}
 	return old
 }
+
+// SetTrace installs the PE's timeline recorder (nil = tracing off) and
+// opens the current phase's span. A codec-decorated transport is bound
+// too, so post-codec frame sizes land on the same timeline. The recorder
+// only observes; no deterministic counter depends on it.
+func (c *Comm) SetTrace(r *trace.Recorder) {
+	c.tr = r
+	if tb, ok := c.t.(traceBinder); ok {
+		tb.BindTrace(r)
+	}
+	r.Begin(trace.TrackControl, c.phase.String())
+}
+
+// Trace returns the PE's timeline recorder; nil when tracing is off.
+// Layers below comm (spill pools, merge hooks) pick it up from here.
+func (c *Comm) Trace() *trace.Recorder { return c.tr }
 
 // flushWall folds the elapsed wall time of the current phase span into the
 // PE's Wall counters and restarts the span.
@@ -277,6 +339,13 @@ func (c *Comm) accountSendAs(ph stats.Phase, dst, n int) {
 			// verbatim, so the wire volume IS the raw volume.
 			c.st.Wire[ph].Sent += int64(n)
 		}
+		c.tr.Instant(trace.TrackControl, "send", int64(n), int64(dst))
+		if trace.LiveOn() {
+			trace.Live.RawSent.Add(int64(n))
+			if c.wm == nil {
+				trace.Live.WireSent.Add(int64(n))
+			}
+		}
 	}
 }
 
@@ -291,7 +360,36 @@ func (c *Comm) accountRecvAs(ph stats.Phase, src, n int) {
 		if c.wm == nil {
 			c.st.Wire[ph].Recv += int64(n)
 		}
+		c.tr.Instant(trace.TrackControl, "recv", int64(n), int64(src))
+		if trace.LiveOn() {
+			trace.Live.RawRecv.Add(int64(n))
+			if c.wm == nil {
+				trace.Live.WireRecv.Add(int64(n))
+			}
+		}
 	}
+}
+
+// WorkerObserver returns a par.Observer that attributes each worker's
+// busy interval of a labeled fork point to its goroutine track; nil when
+// tracing is off (par treats nil as unobserved, so the disabled path
+// costs nothing).
+func (c *Comm) WorkerObserver(label string) par.Observer {
+	tr := c.tr
+	if tr == nil {
+		return nil
+	}
+	return func(worker int, startNS, endNS int64) {
+		tr.Span(trace.TrackWorker0+int32(worker), label, startNS, endNS)
+	}
+}
+
+// ForEachSpan is Pool().ForEach with trace attribution: each
+// participating worker's busy span lands on its goroutine track under the
+// given label when tracing is enabled. The schedule and the returned busy
+// nanoseconds are identical to a plain ForEach.
+func (c *Comm) ForEachSpan(label string, n int, fn func(i int)) int64 {
+	return c.pool.ForEachObs(n, fn, c.WorkerObserver(label))
 }
 
 // Release returns payload buffers (typically obtained from Recv or a

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dss/internal/stats"
+	"dss/internal/trace"
 	"dss/internal/transport"
 )
 
@@ -92,6 +93,7 @@ func (g *Group) IAlltoallvChunked(parts [][]byte, chunkSize int) *ChunkPending {
 	if chunkSize <= 0 {
 		chunkSize = DefaultStreamChunk
 	}
+	g.c.tr.Instant(trace.TrackControl, "IAlltoallvChunked post", 0, 0)
 	now := time.Now()
 	pd := &ChunkPending{
 		g:           g,
@@ -120,6 +122,7 @@ func (g *Group) IAlltoallvChunked(parts [][]byte, chunkSize int) *ChunkPending {
 			}
 			rest = rest[len(chunk):]
 			frame = append(append(frame[:0], flag), chunk...)
+			g.c.tr.Instant(trace.TrackControl, "frame-send", int64(len(chunk)), int64(dst))
 			g.c.t.Send(dst, pd.tag, frame)
 			if flag == chunkLast {
 				break
@@ -223,6 +226,7 @@ func (pd *ChunkPending) deliverFrame(src int, frame []byte) (idx int, chunk []by
 	}
 	last = frame[0] == chunkLast
 	chunk = frame[1:]
+	pd.g.c.tr.Instant(trace.TrackControl, "frame-recv", int64(len(chunk)), int64(src))
 	pd.g.c.accountRecvAs(pd.phase, src, len(chunk))
 	idx = sort.SearchInts(pd.g.ranks, src)
 	if last {
@@ -242,6 +246,6 @@ func (pd *ChunkPending) finishMember(idx int) {
 			pd.g.c.st.Overlap[pd.phase] += ov.Nanoseconds()
 		}
 		pd.g.c.st.ExchangeDoneNS = pd.lastArrival.UnixNano()
+		pd.g.c.tr.Instant(trace.TrackControl, "exchange-done", 0, 0)
 	}
 }
-

@@ -113,7 +113,7 @@ func encodeParts(c *comm.Comm, sizes []int, enc func(dst int, buf []byte) []byte
 	offs := partOffsets(sizes)
 	arena := make([]byte, offs[len(sizes)])
 	parts := make([][]byte, len(sizes))
-	busy := c.Pool().ForEach(len(sizes), func(dst int) {
+	busy := c.ForEachSpan("encode", len(sizes), func(dst int) {
 		lo, hi := offs[dst], offs[dst+1]
 		buf := enc(dst, arena[lo:lo:hi])
 		if len(buf) != hi-lo {

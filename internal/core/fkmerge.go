@@ -100,6 +100,7 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 		out, mwork, mbusy = merge.MergeStreamPar(rs.sources(), merge.StreamOptions{
 			OnFirstOutput: markMergeStart(c),
 			Pool:          c.Pool(), ParMin: opt.ParMergeMin, Snapshot: rs.snapshot(false),
+			Hooks: mergeHooks(c),
 		})
 	} else {
 		runs := make([]merge.Sequence, p)
@@ -110,7 +111,7 @@ func FKMerge(c *comm.Comm, ss [][]byte, opt FKOptions) Result {
 			}
 			runs[src] = merge.Sequence{Strings: rs}
 		})
-		out, mwork, mbusy = merge.MergePar(c.Pool(), runs, opt.ParMergeMin)
+		out, mwork, mbusy = merge.MergeParHooked(c.Pool(), runs, opt.ParMergeMin, mergeHooks(c))
 	}
 	c.AddWork(mwork)
 	c.AddCPU(mbusy)

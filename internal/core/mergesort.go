@@ -242,6 +242,7 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 		out, mwork, mbusy = merge.MergeStreamPar(rs.sources(), merge.StreamOptions{
 			LCP: opt.LCPMerge, OnFirstOutput: markMergeStart(c),
 			Pool: c.Pool(), ParMin: opt.ParMergeMin, Snapshot: rs.snapshot(false),
+			Hooks: mergeHooks(c),
 		})
 	} else {
 		// Eager seam: encode each bucket on the pool, posting it as its
@@ -277,9 +278,9 @@ func MergeSort(c *comm.Comm, ss [][]byte, opt MSOptions) Result {
 		// across the pool by multisequence selection (width-independent
 		// output and work by the deterministic merge-back contract).
 		if opt.LCPMerge {
-			out, mwork, mbusy = merge.MergeLCPPar(c.Pool(), runs, opt.ParMergeMin)
+			out, mwork, mbusy = merge.MergeLCPParHooked(c.Pool(), runs, opt.ParMergeMin, mergeHooks(c))
 		} else {
-			out, mwork, mbusy = merge.MergePar(c.Pool(), runs, opt.ParMergeMin)
+			out, mwork, mbusy = merge.MergeParHooked(c.Pool(), runs, opt.ParMergeMin, mergeHooks(c))
 		}
 	}
 	c.AddWork(mwork)

@@ -250,6 +250,7 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 		out, mwork, mbusy = merge.MergeStreamPar(rs.sources(), merge.StreamOptions{
 			LCP: true, Sats: true, OnFirstOutput: markMergeStart(c),
 			Pool: c.Pool(), ParMin: opt.ParMergeMin, Snapshot: rs.snapshot(true),
+			Hooks: mergeHooks(c),
 		})
 	} else {
 		runs := make([]merge.Sequence, p)
@@ -270,7 +271,7 @@ func PDMS(c *comm.Comm, ss [][]byte, opt PDMSOptions) Result {
 			}
 			runs[src] = merge.Sequence{Strings: rs, LCPs: rl, Sats: ro}
 		})
-		out, mwork, mbusy = merge.MergeLCPPar(c.Pool(), runs, opt.ParMergeMin)
+		out, mwork, mbusy = merge.MergeLCPParHooked(c.Pool(), runs, opt.ParMergeMin, mergeHooks(c))
 	}
 	c.AddWork(mwork)
 	c.AddCPU(mbusy)

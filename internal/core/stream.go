@@ -23,6 +23,7 @@ import (
 	"dss/internal/comm"
 	"dss/internal/merge"
 	"dss/internal/stats"
+	"dss/internal/trace"
 	"dss/internal/wire"
 )
 
@@ -130,9 +131,12 @@ func (rs *runStream) snapshot(withSats bool) func() ([]merge.Sequence, bool) {
 		if !rs.tryDrain() {
 			return nil, false
 		}
+		// The streaming tree commits to the partitioned finish here: the
+		// exchange has fully arrived and the remainders materialize next.
+		rs.c.Trace().Instant(trace.TrackControl, "merge-handoff", 0, 0)
 		srcs := rs.sourceList()
 		rem := make([]merge.Sequence, len(srcs))
-		busy := rs.c.Pool().ForEach(len(srcs), func(i int) {
+		busy := rs.c.ForEachSpan("decode-tail", len(srcs), func(i int) {
 			rem[i] = srcs[i].materializeRemaining(withSats)
 		})
 		rs.c.AddCPU(busy)
@@ -225,7 +229,29 @@ func (s *streamSource) materializeRemaining(withSats bool) merge.Sequence {
 // merge-start milestone, which the overlap reporting compares against the
 // exchange-done stamp to show merging began while frames were in flight.
 func markMergeStart(c *comm.Comm) func() {
-	return func() { c.StatsPE().MergeStartNS = time.Now().UnixNano() }
+	return func() {
+		c.StatsPE().MergeStartNS = time.Now().UnixNano()
+		c.Trace().Instant(trace.TrackControl, "merge-start", 0, 0)
+	}
+}
+
+// mergeHooks builds the merge layer's trace hooks from the PE's recorder:
+// worker spans labeled "merge" plus one "merge-seam" instant per
+// partition boundary (Arg = output index, Arg2 = partition). Zero hooks —
+// costing nothing — when tracing is off.
+func mergeHooks(c *comm.Comm) merge.Hooks {
+	tr := c.Trace()
+	if tr == nil {
+		return merge.Hooks{}
+	}
+	return merge.Hooks{
+		Obs: c.WorkerObserver("merge"),
+		OnPartition: func(bounds []int) {
+			for j := 1; j < len(bounds); j++ {
+				tr.Instant(trace.TrackControl, "merge-seam", int64(bounds[j]), int64(j-1))
+			}
+		},
+	}
 }
 
 // drainTagged pulls every (string, tag) pair of all runs in rank order —
@@ -242,7 +268,7 @@ func (rs *runStream) drainTagged() ([][]byte, []uint64) {
 	if pool := rs.c.Pool(); !pool.Sequential() && rs.tryDrain() {
 		srcs := rs.sourceList()
 		rem := make([]merge.Sequence, len(srcs))
-		busy := pool.ForEach(len(srcs), func(i int) {
+		busy := rs.c.ForEachSpan("decode-tail", len(srcs), func(i int) {
 			rem[i] = srcs[i].materializeRemaining(true)
 		})
 		rs.c.AddCPU(busy)

@@ -1,0 +1,67 @@
+// Package debugserve is the live introspection endpoint behind the
+// -debug-addr flag of dss-sort and dss-worker: one HTTP listener serving
+// the standard pprof profiles, expvar gauges of the run in flight
+// (current phase, live arena bytes, raw/wire traffic, spill volume) and
+// an on-demand Chrome trace snapshot of every live PE recorder.
+//
+//	/debug/pprof/     — net/http/pprof (profile, heap, goroutine, ...)
+//	/debug/vars       — expvar; the run gauges live under the "dss" key
+//	/debug/dsstrace   — Chrome trace-event JSON snapshot of the live rings
+//
+// Starting the server flips the trace package's live switch, so the
+// gauges are maintained and recorders register for snapshots from then
+// on; with the flag unset nothing in the hot paths pays more than one
+// atomic load.
+package debugserve
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"dss/internal/trace"
+)
+
+var publishOnce sync.Once
+
+// Start enables live introspection and serves the debug endpoint on addr
+// (host:port; port 0 picks a free one). It returns the bound address —
+// callers print it so port-0 listeners are reachable — and never blocks:
+// the server runs on its own goroutine for the life of the process.
+func Start(addr string) (string, error) {
+	trace.EnableLive()
+	publishOnce.Do(func() {
+		expvar.Publish("dss", expvar.Func(func() any { return trace.Live.Map() }))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debugserve: %w", err)
+	}
+	// An explicit mux rather than http.DefaultServeMux: the pprof side
+	// effects of importing net/http/pprof land on the default mux, but a
+	// private one keeps this endpoint self-contained and test-friendly.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/dsstrace", serveTrace)
+	go http.Serve(ln, mux) //nolint:errcheck // lives until process exit
+	return ln.Addr().String(), nil
+}
+
+// serveTrace snapshots every live PE recorder of this process and writes
+// a Chrome trace-event JSON document — the same format as -trace files,
+// but on demand, mid-run, without stopping anything.
+func serveTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := trace.WriteChromeTrace(w, trace.Snapshots()); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}

@@ -21,6 +21,19 @@ func resolveParMin(parMin int) int {
 	return parMin
 }
 
+// Hooks are optional trace callbacks of the partitioned merges, threaded
+// down from the comm layer's recorder. The zero value is fully disabled
+// and costs nothing; the callbacks never influence what is merged.
+type Hooks struct {
+	// Obs observes each pool worker's busy span of the partitioned phase
+	// (nil = unobserved, see par.Observer).
+	Obs par.Observer
+	// OnPartition is invoked once after multisequence selection with the
+	// output boundaries: bounds[j]..bounds[j+1] is partition j's output
+	// slot. The partition seams of the timeline come from here.
+	OnPartition func(bounds []int)
+}
+
 // MergePar is Merge on a work pool: the runs are split into disjoint,
 // globally ordered subranges by multisequence selection and each subrange
 // is merged by an independent plain loser tree. Output and the work count
@@ -28,17 +41,28 @@ func resolveParMin(parMin int) int {
 // width-1 pool, or fewer than parMin strings, IS the sequential path).
 // Returns the merged sequence, the character work, and the pool busy-ns.
 func MergePar(pool *par.Pool, seqs []Sequence, parMin int) (Sequence, int64, int64) {
-	return mergeSeqs(pool, seqs, false, parMin)
+	return mergeSeqs(pool, seqs, false, parMin, Hooks{})
 }
 
 // MergeLCPPar is MergeLCP on a work pool; see MergePar. Seam LCPs at
 // partition boundaries are recomputed against the predecessor element, so
 // the output LCP array matches the sequential merge exactly.
 func MergeLCPPar(pool *par.Pool, seqs []Sequence, parMin int) (Sequence, int64, int64) {
-	return mergeSeqs(pool, seqs, true, parMin)
+	return mergeSeqs(pool, seqs, true, parMin, Hooks{})
 }
 
-func mergeSeqs(pool *par.Pool, seqs []Sequence, useLCP bool, parMin int) (Sequence, int64, int64) {
+// MergeParHooked / MergeLCPParHooked are the traced variants: identical
+// merges with the hooks reporting worker spans and partition seams.
+func MergeParHooked(pool *par.Pool, seqs []Sequence, parMin int, h Hooks) (Sequence, int64, int64) {
+	return mergeSeqs(pool, seqs, false, parMin, h)
+}
+
+// MergeLCPParHooked is MergeLCPPar with trace hooks; see MergeParHooked.
+func MergeLCPParHooked(pool *par.Pool, seqs []Sequence, parMin int, h Hooks) (Sequence, int64, int64) {
+	return mergeSeqs(pool, seqs, true, parMin, h)
+}
+
+func mergeSeqs(pool *par.Pool, seqs []Sequence, useLCP bool, parMin int, h Hooks) (Sequence, int64, int64) {
 	total := 0
 	streams := 0
 	last := -1
@@ -122,9 +146,12 @@ func mergeSeqs(pool *par.Pool, seqs []Sequence, useLCP bool, parMin int) (Sequen
 		}
 		bounds[j] = n
 	}
+	if h.OnPartition != nil {
+		h.OnPartition(bounds)
+	}
 
 	works := make([]int64, parts)
-	busy := pool.ForEach(parts, func(j int) {
+	busy := pool.ForEachObs(parts, func(j int) {
 		lo, hi := bounds[j], bounds[j+1]
 		if lo == hi {
 			return
@@ -147,7 +174,7 @@ func mergeSeqs(pool *par.Pool, seqs []Sequence, useLCP bool, parMin int) (Sequen
 		t.emit(hi-lo, out.Strings[lo:hi], lcps, sats)
 		works[j] = t.work
 		t.release()
-	})
+	}, h.Obs)
 
 	var work int64
 	for _, w := range works {

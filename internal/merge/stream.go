@@ -89,6 +89,9 @@ type StreamOptions struct {
 	// offered: implementations may treat the materializing call as
 	// destructive (the sources are not pulled again afterwards).
 	Snapshot func() ([]Sequence, bool)
+	// Hooks report worker spans and partition seams of the partitioned
+	// finish to the timeline trace; zero value = disabled.
+	Hooks Hooks
 }
 
 // handoffPollEvery is how many outputs the streaming tree emits between
@@ -279,9 +282,12 @@ func finishPartitioned(t *streamTree, rem []Sequence, prefix Sequence, opt Strea
 		}
 		bounds[j] = n
 	}
+	if opt.Hooks.OnPartition != nil {
+		opt.Hooks.OnPartition(bounds)
+	}
 
 	works := make([]int64, parts)
-	busy := pool.ForEach(parts, func(j int) {
+	busy := pool.ForEachObs(parts, func(j int) {
 		lo, hi := bounds[j], bounds[j+1]
 		if lo == hi {
 			// Unreachable (parts ≤ total makes every bound strictly
@@ -309,7 +315,7 @@ func finishPartitioned(t *streamTree, rem []Sequence, prefix Sequence, opt Strea
 		pt.emit(hi-lo, out.Strings[done+lo:done+hi], lcps, sats)
 		works[j] = pt.work
 		pt.release()
-	})
+	}, opt.Hooks.Obs)
 
 	var work int64
 	for _, w := range works {

@@ -82,6 +82,14 @@ func rethrow(pv *taskPanic) {
 	panic(fmt.Sprintf("par: task panicked: %v\n%s", pv.val, pv.stack))
 }
 
+// Observer sees one callback per participating worker of an observed fork
+// point, after that worker finishes: worker 0 is the calling goroutine,
+// 1..W−1 the helpers, with the worker's busy interval as wall-clock
+// nanosecond stamps. Observers exist for trace attribution; a nil
+// Observer costs nothing. Callbacks may arrive concurrently from the
+// worker goroutines themselves.
+type Observer func(worker int, startNS, endNS int64)
+
 // ForEach runs fn(0..n-1), each index exactly once, spreading the indices
 // over the caller plus up to Cores()−1 helper goroutines, and returns the
 // summed busy nanoseconds of all workers. It blocks until every index is
@@ -89,6 +97,14 @@ func rethrow(pv *taskPanic) {
 // pool the calls happen exactly as a plain loop would. A panic in any task
 // is re-raised on the caller after the barrier.
 func (p *Pool) ForEach(n int, fn func(i int)) int64 {
+	return p.ForEachObs(n, fn, nil)
+}
+
+// ForEachObs is ForEach with an optional Observer reporting each
+// participating worker's busy span — the fork/join attribution channel of
+// the timeline trace. The schedule is identical to ForEach; the observer
+// never influences WHAT runs or WHERE.
+func (p *Pool) ForEachObs(n int, fn func(i int), obs Observer) int64 {
 	if n <= 0 {
 		return 0
 	}
@@ -97,7 +113,12 @@ func (p *Pool) ForEach(n int, fn func(i int)) int64 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
-		return time.Since(t0).Nanoseconds()
+		d := time.Since(t0).Nanoseconds()
+		if obs != nil {
+			end := t0.UnixNano() + d
+			obs(0, t0.UnixNano(), end)
+		}
+		return d
 	}
 	var (
 		next  atomic.Int64
@@ -105,10 +126,13 @@ func (p *Pool) ForEach(n int, fn func(i int)) int64 {
 		fault atomic.Pointer[taskPanic]
 		wg    sync.WaitGroup
 	)
-	worker := func() {
+	worker := func(id int) {
 		t0 := time.Now()
 		defer func() {
 			busy.Add(time.Since(t0).Nanoseconds())
+			if obs != nil {
+				obs(id, t0.UnixNano(), time.Now().UnixNano())
+			}
 			if r := recover(); r != nil {
 				fault.CompareAndSwap(nil, &taskPanic{val: r, stack: stack()})
 			}
@@ -123,21 +147,24 @@ func (p *Pool) ForEach(n int, fn func(i int)) int64 {
 	}
 	// Helpers only with a free token; the caller always participates.
 	helpers := min(p.cores-1, n-1)
+	spawned := 0
 spawn:
 	for h := 0; h < helpers; h++ {
 		select {
 		case <-p.tokens:
+			spawned++
+			id := spawned
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				defer func() { p.tokens <- struct{}{} }()
-				worker()
+				worker(id)
 			}()
 		default:
 			break spawn
 		}
 	}
-	worker()
+	worker(0)
 	wg.Wait()
 	if pv := fault.Load(); pv != nil {
 		rethrow(pv)

@@ -1,0 +1,76 @@
+// Package profiling implements the shared -cpuprofile / -memprofile
+// flags of the dss binaries on runtime/pprof: one RegisterFlags call per
+// binary, Start after flag parsing, and Exit instead of os.Exit so the
+// profiles are flushed on EVERY exit path — success, usage errors and
+// fatal run errors alike.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuprofile *string
+	memprofile *string
+	cpuFile    *os.File
+)
+
+// RegisterFlags registers -cpuprofile and -memprofile on fs (pass
+// flag.CommandLine for the process-wide set).
+func RegisterFlags(fs *flag.FlagSet) {
+	cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling if -cpuprofile was given. Call once, after
+// flag parsing and before the run.
+func Start() error {
+	if cpuprofile == nil || *cpuprofile == "" {
+		return nil
+	}
+	f, err := os.Create(*cpuprofile)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: %w", err)
+	}
+	cpuFile = f
+	return nil
+}
+
+// Stop flushes the CPU profile and writes the heap profile. Idempotent;
+// Exit calls it, so only long-lived callers that never Exit need it.
+func Stop() {
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		cpuFile = nil
+	}
+	if memprofile != nil && *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+			return
+		}
+		runtime.GC() // materialize the final live set before the snapshot
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+		}
+		f.Close()
+		memprofile = nil
+	}
+}
+
+// Exit flushes the profiles and terminates the process. The binaries use
+// it everywhere they would call os.Exit, so a -cpuprofile of a failing
+// run is still written.
+func Exit(code int) {
+	Stop()
+	os.Exit(code)
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"dss/internal/par"
+	"dss/internal/trace"
 )
 
 // DefaultPageSize is the write-behind flush granularity of page files and
@@ -81,6 +82,7 @@ type Pool struct {
 	cfg     Config
 	dir     string
 	workers *par.Pool
+	tr      *trace.Recorder // timeline recorder; nil = tracing off
 
 	live    atomic.Int64
 	peak    atomic.Int64
@@ -104,6 +106,12 @@ func NewPool(cfg Config, workers *par.Pool) (*Pool, error) {
 	return &Pool{cfg: cfg, dir: dir, workers: workers}, nil
 }
 
+// SetTrace installs the PE's timeline recorder (nil = tracing off): page
+// flushes and page-ins become instants on the spill track with live-byte
+// counter samples alongside. The recorder is mutex-protected, so the
+// write-behind helpers record through it safely.
+func (p *Pool) SetTrace(tr *trace.Recorder) { p.tr = tr }
+
 // Dir returns the pool's private page directory.
 func (p *Pool) Dir() string { return p.dir }
 
@@ -119,6 +127,9 @@ func (p *Pool) Reserve(n int64) {
 		return
 	}
 	live := p.live.Add(n)
+	if trace.LiveOn() {
+		trace.Live.LiveBytes.Add(n)
+	}
 	for {
 		peak := p.peak.Load()
 		if live <= peak || p.peak.CompareAndSwap(peak, live) {
@@ -128,7 +139,12 @@ func (p *Pool) Reserve(n int64) {
 }
 
 // Release returns n bytes to the budget.
-func (p *Pool) Release(n int64) { p.live.Add(-n) }
+func (p *Pool) Release(n int64) {
+	p.live.Add(-n)
+	if trace.LiveOn() {
+		trace.Live.LiveBytes.Add(-n)
+	}
+}
 
 // Over reports that the live bytes exceed a configured budget.
 func (p *Pool) Over() bool {
@@ -238,9 +254,17 @@ func (f *File) flush() {
 				f.setErr(err)
 			}
 		}
-		f.p.written.Add(int64(len(buf)))
+		written := f.p.written.Add(int64(len(buf)))
 		f.stable.Store(off + int64(len(buf)))
 		f.p.Release(int64(len(buf)))
+		if f.p.tr != nil {
+			f.p.tr.Instant(trace.TrackSpill, "spill-flush", int64(len(buf)), 0)
+			f.p.tr.Counter("spill_written", written)
+			f.p.tr.Counter("spill_live", f.p.live.Load())
+		}
+		if trace.LiveOn() {
+			trace.Live.SpillWritten.Add(int64(len(buf)))
+		}
 	})
 }
 
@@ -303,7 +327,14 @@ func (f *File) ReadSpan(off int64, max int) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spill: page read: %w", err)
 	}
-	f.p.read.Add(int64(m))
+	read := f.p.read.Add(int64(m))
+	if f.p.tr != nil {
+		f.p.tr.Instant(trace.TrackSpill, "spill-pagein", int64(m), 0)
+		f.p.tr.Counter("spill_read", read)
+	}
+	if trace.LiveOn() {
+		trace.Live.SpillRead.Add(int64(m))
+	}
 	return buf[:m], nil
 }
 

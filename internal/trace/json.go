@@ -1,0 +1,288 @@
+// Chrome trace-event export: the JSON Array Format understood by Perfetto
+// and chrome://tracing. Each Buffer becomes one process track (pid = PE
+// rank) with one thread track per event track; timestamps are shifted by
+// the buffer's clock offset and rebased so the earliest event sits at 0.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"unicode/utf8"
+)
+
+// WriteChromeTrace writes the buffers as one merged Chrome trace-event
+// JSON document. Ring wraparound may leave a buffer with an End whose
+// Begin was overwritten or a Begin whose End never landed; orphaned Ends
+// are dropped and unclosed Begins get a synthetic End at the buffer's
+// last timestamp, so the output always has balanced B/E pairs per thread
+// track and loads cleanly.
+func WriteChromeTrace(w io.Writer, bufs []*Buffer) error {
+	base := int64(0)
+	haveBase := false
+	for _, b := range bufs {
+		if b == nil {
+			continue
+		}
+		for _, ev := range b.Events {
+			if ts := ev.TS + b.OffsetNS; !haveBase || ts < base {
+				base, haveBase = ts, true
+			}
+		}
+	}
+
+	out := make([]byte, 0, 1<<16)
+	out = append(out, `{"traceEvents":[`...)
+	first := true
+	emit := func(rec []byte) error {
+		if !first {
+			out = append(out, ',', '\n')
+		}
+		first = false
+		out = append(out, rec...)
+		if len(out) >= 1<<16 {
+			if _, err := w.Write(out); err != nil {
+				return err
+			}
+			out = out[:0]
+		}
+		return nil
+	}
+
+	var rec []byte
+	for _, b := range bufs {
+		if b == nil {
+			continue
+		}
+		if err := writeBufferEvents(b, base, &rec, emit); err != nil {
+			return err
+		}
+	}
+	out = append(out, "]}\n"...)
+	_, err := w.Write(out)
+	return err
+}
+
+// WriteFile writes the merged Chrome trace to path.
+func WriteFile(path string, bufs []*Buffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := WriteChromeTrace(f, bufs); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+func trackName(t int32) string {
+	switch {
+	case t == TrackControl:
+		return "pe"
+	case t == TrackSpill:
+		return "spill"
+	default:
+		return "worker " + strconv.Itoa(int(t-TrackWorker0))
+	}
+}
+
+// writeBufferEvents emits metadata, events and synthetic closes of one
+// buffer through emit, reusing *scratch as the record buffer.
+func writeBufferEvents(b *Buffer, base int64, scratch *[]byte, emit func([]byte) error) error {
+	pid := b.Rank
+	name := func(ev Event) string {
+		if int(ev.Name) < len(b.Names) {
+			return b.Names[ev.Name]
+		}
+		return "?"
+	}
+	ts := func(ev Event) float64 {
+		return float64(ev.TS+b.OffsetNS-base) / 1e3 // ns → µs
+	}
+
+	rec := (*scratch)[:0]
+	meta := func(metaName, key string, val any) error {
+		rec = rec[:0]
+		rec = append(rec, `{"ph":"M","pid":`...)
+		rec = strconv.AppendInt(rec, int64(pid), 10)
+		rec = append(rec, `,"tid":0,"name":"`...)
+		rec = append(rec, metaName...)
+		rec = append(rec, `","args":{"`...)
+		rec = append(rec, key...)
+		rec = append(rec, `":`...)
+		switch v := val.(type) {
+		case string:
+			rec = appendJSONString(rec, v)
+		case int:
+			rec = strconv.AppendInt(rec, int64(v), 10)
+		}
+		rec = append(rec, `}}`...)
+		return emit(rec)
+	}
+	if err := meta("process_name", "name", fmt.Sprintf("PE %d", b.Rank)); err != nil {
+		return err
+	}
+	if err := meta("process_sort_index", "sort_index", b.Rank); err != nil {
+		return err
+	}
+	tracksSeen := map[int32]bool{}
+
+	// depth/stack track span nesting per thread track so wrap-orphaned
+	// events can be repaired: Ends at depth 0 are dropped, Begins still
+	// open at the end of the buffer are closed synthetically.
+	type open struct{ name string }
+	stacks := map[int32][]open{}
+	lastTS := map[int32]int64{}
+
+	for _, ev := range b.Events {
+		if ev.Kind != KindCounter && !tracksSeen[ev.Track] {
+			tracksSeen[ev.Track] = true
+			rec = rec[:0]
+			rec = append(rec, `{"ph":"M","pid":`...)
+			rec = strconv.AppendInt(rec, int64(pid), 10)
+			rec = append(rec, `,"tid":`...)
+			rec = strconv.AppendInt(rec, int64(ev.Track), 10)
+			rec = append(rec, `,"name":"thread_name","args":{"name":`...)
+			rec = appendJSONString(rec, trackName(ev.Track))
+			rec = append(rec, `}}`...)
+			if err := emit(rec); err != nil {
+				return err
+			}
+		}
+		switch ev.Kind {
+		case KindBegin:
+			stacks[ev.Track] = append(stacks[ev.Track], open{name: name(ev)})
+		case KindEnd:
+			st := stacks[ev.Track]
+			if len(st) == 0 {
+				continue // Begin lost to ring wraparound: drop the orphan End
+			}
+			stacks[ev.Track] = st[:len(st)-1]
+		}
+		if ev.Kind != KindCounter {
+			if t := ev.TS; t > lastTS[ev.Track] {
+				lastTS[ev.Track] = t
+			}
+		}
+		rec = appendEvent(rec[:0], pid, ev, name(ev), ts(ev))
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+
+	// Synthetic closes for spans still open (End lost to wraparound or
+	// the run stopped mid-span), innermost first.
+	for track, st := range stacks {
+		endTS := float64(lastTS[track]+b.OffsetNS-base) / 1e3
+		for i := len(st) - 1; i >= 0; i-- {
+			rec = appendEvent(rec[:0], pid,
+				Event{Track: track, Kind: KindEnd}, st[i].name, endTS)
+			if err := emit(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if b.Dropped > 0 {
+		rec = appendEvent(rec[:0], pid,
+			Event{Track: TrackControl, Kind: KindInstant, Arg: int64(b.Dropped)},
+			"ring dropped events", float64(lastTS[TrackControl]+b.OffsetNS-base)/1e3)
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	*scratch = rec
+	return nil
+}
+
+// appendEvent renders one trace record. Counter events ignore the track
+// (Chrome counters are per-process); everything else lands on its thread
+// track.
+func appendEvent(rec []byte, pid int, ev Event, name string, tsUS float64) []byte {
+	rec = append(rec, `{"ph":"`...)
+	switch ev.Kind {
+	case KindBegin:
+		rec = append(rec, 'B')
+	case KindEnd:
+		rec = append(rec, 'E')
+	case KindInstant:
+		rec = append(rec, 'i')
+	case KindCounter:
+		rec = append(rec, 'C')
+	}
+	rec = append(rec, `","pid":`...)
+	rec = strconv.AppendInt(rec, int64(pid), 10)
+	if ev.Kind != KindCounter {
+		rec = append(rec, `,"tid":`...)
+		rec = strconv.AppendInt(rec, int64(ev.Track), 10)
+	}
+	rec = append(rec, `,"ts":`...)
+	rec = strconv.AppendFloat(rec, tsUS, 'f', 3, 64)
+	rec = append(rec, `,"name":`...)
+	rec = appendJSONString(rec, name)
+	switch ev.Kind {
+	case KindInstant:
+		rec = append(rec, `,"s":"t"`...)
+		if ev.Arg != 0 || ev.Arg2 != 0 {
+			rec = append(rec, `,"args":{"v":`...)
+			rec = strconv.AppendInt(rec, ev.Arg, 10)
+			rec = append(rec, `,"v2":`...)
+			rec = strconv.AppendInt(rec, ev.Arg2, 10)
+			rec = append(rec, '}')
+		}
+	case KindCounter:
+		rec = append(rec, `,"args":{"v":`...)
+		rec = strconv.AppendInt(rec, ev.Arg, 10)
+		rec = append(rec, '}')
+	}
+	rec = append(rec, '}')
+	return rec
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal that is valid for
+// ANY byte content: control characters become \u00XX escapes, quote and
+// backslash are escaped, and bytes that are not valid UTF-8 are replaced
+// with U+FFFD — json.Valid holds on the output no matter what label bytes
+// a caller interned (fuzzed in json_test.go).
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				dst = append(dst, '\\', '"')
+			case c == '\\':
+				dst = append(dst, '\\', '\\')
+			case c >= 0x20:
+				dst = append(dst, c)
+			case c == '\n':
+				dst = append(dst, '\\', 'n')
+			case c == '\t':
+				dst = append(dst, '\\', 't')
+			case c == '\r':
+				dst = append(dst, '\\', 'r')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0',
+					hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, `�`...)
+			i++
+			continue
+		}
+		dst = append(dst, s[i:i+size]...)
+		i += size
+	}
+	return append(dst, '"')
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"unicode/utf8"
+)
+
+// TestJSONStringEscaping spot-checks the hostile corners the fuzz target
+// explores: control bytes, quotes, backslashes, invalid UTF-8.
+func TestJSONStringEscaping(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		`quote " backslash \ done`,
+		"newline\n tab\t cr\r null\x00 bell\x07",
+		"invalid utf8 \xff\xfe middle",
+		"truncated rune \xe2\x82",
+		"emoji 🙂 and   line sep",
+		string([]byte{0x80, 0x81, 0xc0, 0xaf}),
+	}
+	for _, s := range cases {
+		out := appendJSONString(nil, s)
+		if !json.Valid(out) {
+			t.Errorf("appendJSONString(%q) = %s: not valid JSON", s, out)
+			continue
+		}
+		var back string
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Errorf("unmarshal %s: %v", out, err)
+			continue
+		}
+		// Valid UTF-8 input must roundtrip exactly; invalid bytes become
+		// replacement characters.
+		if utf8.ValidString(s) && back != s {
+			t.Errorf("roundtrip %q -> %q", s, back)
+		}
+	}
+}
+
+// FuzzChromeJSONEscaping is the satellite fuzz target: whatever bytes end
+// up as event names (labels can carry arbitrary input fragments), the
+// exported document must parse as valid JSON.
+func FuzzChromeJSONEscaping(f *testing.F) {
+	f.Add("plain", "other")
+	f.Add("quote\"and\\slash", "ctrl\x01\x02")
+	f.Add("bad\xff utf8\xc3(", "\xe2\x82")
+	f.Add("", "\x00\x00\x00")
+	f.Fuzz(func(t *testing.T, name1, name2 string) {
+		out := appendJSONString(nil, name1)
+		if !json.Valid(out) {
+			t.Fatalf("appendJSONString(%q) invalid: %s", name1, out)
+		}
+
+		r := New(0, 16)
+		r.Begin(TrackControl, name1)
+		r.Instant(TrackControl, name2, 7, -3)
+		r.Counter(name1, 42)
+		r.End(TrackControl, name1)
+		var doc bytes.Buffer
+		if err := WriteChromeTrace(&doc, []*Buffer{r.Snapshot()}); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		if !json.Valid(doc.Bytes()) {
+			t.Fatalf("export with names %q, %q is invalid JSON:\n%s", name1, name2, doc.String())
+		}
+	})
+}

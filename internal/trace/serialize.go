@@ -1,0 +1,135 @@
+// Binary Buffer serialization for the cross-process trace gather: worker
+// ranks marshal their snapshot, ship it through the report machinery's
+// Allgatherv, and rank 0 unmarshals every peer's buffer before writing
+// the merged Chrome trace.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// bufferMagic versions the wire layout of a marshaled Buffer.
+const bufferMagic = 0xD5 // 'dss trace' v1
+
+// Marshal encodes the buffer as a self-describing byte string (varint
+// fields, name table by length prefix).
+func (b *Buffer) Marshal() []byte {
+	n := 16 + len(b.Events)*10
+	for _, s := range b.Names {
+		n += len(s) + 2
+	}
+	out := make([]byte, 0, n)
+	out = append(out, bufferMagic)
+	out = binary.AppendUvarint(out, uint64(b.Rank))
+	out = binary.AppendVarint(out, b.OffsetNS)
+	out = binary.AppendUvarint(out, b.Dropped)
+	out = binary.AppendUvarint(out, uint64(len(b.Names)))
+	for _, s := range b.Names {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(b.Events)))
+	prevTS := int64(0)
+	for _, ev := range b.Events {
+		// Timestamps are near-monotonic, so delta coding keeps them short.
+		out = binary.AppendVarint(out, ev.TS-prevTS)
+		prevTS = ev.TS
+		out = binary.AppendVarint(out, ev.Arg)
+		out = binary.AppendVarint(out, ev.Arg2)
+		out = binary.AppendUvarint(out, uint64(ev.Name))
+		out = binary.AppendUvarint(out, uint64(ev.Track))
+		out = append(out, byte(ev.Kind))
+	}
+	return out
+}
+
+type bufReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *bufReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("trace: truncated buffer at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *bufReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("trace: truncated buffer at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *bufReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = fmt.Errorf("trace: truncated buffer at offset %d", r.off)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+// UnmarshalBuffer decodes a Marshal-produced byte string.
+func UnmarshalBuffer(data []byte) (*Buffer, error) {
+	if len(data) == 0 || data[0] != bufferMagic {
+		return nil, fmt.Errorf("trace: bad buffer magic")
+	}
+	r := &bufReader{b: data, off: 1}
+	b := &Buffer{
+		Rank:     int(r.uvarint()),
+		OffsetNS: r.varint(),
+		Dropped:  r.uvarint(),
+	}
+	nNames := int(r.uvarint())
+	if r.err == nil && nNames > len(data) {
+		return nil, fmt.Errorf("trace: implausible name count %d", nNames)
+	}
+	b.Names = make([]string, 0, nNames)
+	for i := 0; i < nNames && r.err == nil; i++ {
+		b.Names = append(b.Names, string(r.bytes(int(r.uvarint()))))
+	}
+	nEvents := int(r.uvarint())
+	if r.err == nil && nEvents > len(data) {
+		return nil, fmt.Errorf("trace: implausible event count %d", nEvents)
+	}
+	b.Events = make([]Event, 0, nEvents)
+	prevTS := int64(0)
+	for i := 0; i < nEvents && r.err == nil; i++ {
+		var ev Event
+		prevTS += r.varint()
+		ev.TS = prevTS
+		ev.Arg = r.varint()
+		ev.Arg2 = r.varint()
+		ev.Name = int32(r.uvarint())
+		ev.Track = int32(r.uvarint())
+		kb := r.bytes(1)
+		if r.err == nil {
+			ev.Kind = Kind(kb[0])
+		}
+		b.Events = append(b.Events, ev)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return b, nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dss/internal/stats"
+	"dss/internal/trace"
 	"dss/internal/transport"
 )
 
@@ -30,6 +31,7 @@ type Endpoint struct {
 	// when the endpoint is used without accounting (tests, raw tools).
 	pe *stats.PE
 	ph stats.Phase
+	tr *trace.Recorder // timeline recorder, bound by the comm layer; nil = off
 }
 
 // Wrap decorates a single endpoint. This is the SPMD entry point: wrap
@@ -61,6 +63,11 @@ func (e *Endpoint) BindWireStats(pe *stats.PE) { e.pe = pe }
 // layer forwards its SetPhase transitions here.
 func (e *Endpoint) SetWirePhase(ph stats.Phase) { e.ph = ph }
 
+// BindTrace installs the PE's timeline recorder so post-codec frame sizes
+// appear as wire-send/wire-recv instants next to the raw-volume events the
+// comm layer records. Bound by comm.SetTrace; nil keeps tracing off.
+func (e *Endpoint) BindTrace(tr *trace.Recorder) { e.tr = tr }
+
 // Rank returns the wrapped endpoint's rank.
 func (e *Endpoint) Rank() int { return e.inner.Rank() }
 
@@ -79,6 +86,10 @@ func (e *Endpoint) Send(dst, tag int, data []byte) {
 	e.inner.Send(dst, tag, frame)
 	if e.pe != nil {
 		e.pe.Wire[e.ph].Sent += int64(len(frame))
+	}
+	e.tr.Instant(trace.TrackControl, "wire-send", int64(len(frame)), int64(dst))
+	if trace.LiveOn() {
+		trace.Live.WireSent.Add(int64(len(frame)))
 	}
 	// The inner Send has fully copied (or written out) the frame, so the
 	// scratch goes straight back to the pool: steady-state encoding is
@@ -157,6 +168,10 @@ func (e *Endpoint) TryRecvAny(srcs []int, tag int) (int, []byte, time.Time, bool
 func (e *Endpoint) decodeFrame(src int, frame []byte) []byte {
 	if e.pe != nil {
 		e.pe.Wire[e.ph].Recv += int64(len(frame))
+	}
+	e.tr.Instant(trace.TrackControl, "wire-recv", int64(len(frame)), int64(src))
+	if trace.LiveOn() {
+		trace.Live.WireRecv.Add(int64(len(frame)))
 	}
 	if len(frame) == 0 {
 		panic(fmt.Sprintf("transport/codec: rank %d: empty frame from rank %d", e.rank, src))

@@ -1,0 +1,76 @@
+// Command tracecheck validates a Chrome trace-event JSON file written by
+// the -trace flag: the document must parse, and every PE of the run must
+// show all five algorithm phase spans (local_sort, dup_detect, partition,
+// exchange, merge) on its control track. The CI trace smoke runs it
+// against a 4-PE dss-sort timeline.
+//
+// Usage:
+//
+//	tracecheck -pes 4 trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		PID  int    `json:"pid"`
+		TID  int    `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+var requiredPhases = []string{"local_sort", "dup_detect", "partition", "exchange", "merge"}
+
+func main() {
+	pes := flag.Int("pes", 0, "require all five phase spans for PEs 0..pes-1 (0 = only validate JSON)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-pes N] trace.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s is not valid trace JSON: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s holds no events\n", flag.Arg(0))
+		os.Exit(1)
+	}
+	// Phase spans live on the control track (tid 0) as B events.
+	spans := make(map[int]map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "B" || ev.TID != 0 {
+			continue
+		}
+		if spans[ev.PID] == nil {
+			spans[ev.PID] = make(map[string]bool)
+		}
+		spans[ev.PID][ev.Name] = true
+	}
+	bad := false
+	for pe := 0; pe < *pes; pe++ {
+		for _, name := range requiredPhases {
+			if !spans[pe][name] {
+				fmt.Fprintf(os.Stderr, "tracecheck: PE %d has no %q phase span\n", pe, name)
+				bad = true
+			}
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s ok — %d events, %d PEs with full phase coverage\n",
+		flag.Arg(0), len(doc.TraceEvents), len(spans))
+}

@@ -62,6 +62,7 @@ func runBudget(c *comm.Comm, local [][]byte, cfg Config, path string) (core.Resu
 		return core.Result{}, err
 	}
 	defer sp.Close()
+	sp.SetTrace(c.Trace())
 	f, err := os.Create(path)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("stringsort: run file: %w", err)

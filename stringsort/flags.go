@@ -36,6 +36,8 @@ type TuningFlags struct {
 	ParMergeMin  *int
 	MemBudget    *string
 	SpillDir     *string
+	Trace        *string
+	TraceCap     *int
 }
 
 // RegisterTuningFlags registers the shared tuning flags on fs (use
@@ -60,6 +62,8 @@ func RegisterTuningFlags(fs *flag.FlagSet) *TuningFlags {
 		ParMergeMin:  fs.Int("par-merge-min", 0, "minimum received strings before the Step-4 merge is partitioned across the pool (0 = default 2048, negative = always sequential)"),
 		MemBudget:    fs.String("mem-budget", "", "per-PE memory budget for the out-of-core pipeline, e.g. 64m or 1g (empty = unbounded in-RAM run; output streamed to sorted-run files when set)"),
 		SpillDir:     fs.String("spill-dir", "", "directory for spill page files and sorted-run output (empty = OS temp dir; only with -mem-budget)"),
+		Trace:        fs.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (load in ui.perfetto.dev; under dss-worker, rank 0 writes the merged cross-process trace)"),
+		TraceCap:     fs.Int("trace-cap", 0, "per-PE trace ring capacity in events (0 = default 32768; the ring keeps the newest events)"),
 	}
 }
 
@@ -103,6 +107,8 @@ func (tf *TuningFlags) Apply(cfg *Config) error {
 	}
 	cfg.MemBudget = budget
 	cfg.SpillDir = *tf.SpillDir
+	cfg.Trace = *tf.Trace
+	cfg.TraceCapacity = *tf.TraceCap
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"dss/internal/core"
 	"dss/internal/par"
 	"dss/internal/stats"
+	"dss/internal/trace"
 	"dss/internal/transport"
 	"dss/internal/transport/codec"
 	"dss/internal/verify"
@@ -19,6 +20,10 @@ import (
 const (
 	statsGID  = 980
 	extentGID = 981
+	// traceGID gathers the per-process trace buffers AFTER the stats
+	// exchange, so its traffic never reaches the reported deterministic
+	// counters (AllgatherReport snapshots on entry).
+	traceGID = 982
 )
 
 // PERun is one PE's share of a distributed sorting run executed with RunPE.
@@ -65,6 +70,9 @@ func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
 	}
 	c := comm.NewComm(t)
 	c.SetPool(par.New(cfg.Cores))
+	if cfg.Trace != "" || trace.LiveOn() {
+		c.SetTrace(trace.New(c.Rank(), cfg.TraceCapacity))
+	}
 	// Budget mode: this rank streams its merged fragment to a sorted-run
 	// file in a fresh directory under cfg.SpillDir (each worker process
 	// makes its own). The directory survives on success for the caller to
@@ -121,6 +129,20 @@ func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
 				if err := verify.Multiset(c, local, res.Strings, 902); err != nil {
 					return nil, err
 				}
+			}
+		}
+	}
+
+	// Gather and export the timeline last: strictly after AllgatherReport
+	// (so the gather's traffic never reaches the reported deterministic
+	// counters) and after validation/reconstruction so those rounds appear
+	// on it. Collective — every rank participates, rank 0 writes the file
+	// with all buffers aligned to its clock.
+	if cfg.Trace != "" {
+		bufs := comm.GatherTrace(c, c.Trace(), traceGID)
+		if c.Rank() == 0 {
+			if err := trace.WriteFile(cfg.Trace, bufs); err != nil {
+				return nil, fmt.Errorf("stringsort: trace: %w", err)
 			}
 		}
 	}

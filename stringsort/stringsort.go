@@ -30,6 +30,7 @@ import (
 	"dss/internal/partition"
 	"dss/internal/spill"
 	"dss/internal/stats"
+	"dss/internal/trace"
 	"dss/internal/transport"
 	"dss/internal/transport/codec"
 	"dss/internal/transport/local"
@@ -263,6 +264,19 @@ type Config struct {
 	// SpillPageSize bounds the spill page and run-writer buffer size in
 	// bytes (0 = the default, 256 KiB). Only meaningful with MemBudget.
 	SpillPageSize int
+	// Trace, when non-empty, writes a Chrome trace-event JSON timeline of
+	// the run to this file: per-PE phase spans, per-frame transport events,
+	// worker-goroutine busy spans, merge handoff/seam instants and spill
+	// counter samples, loadable in Perfetto (ui.perfetto.dev) or
+	// chrome://tracing. Tracing never touches the deterministic statistics
+	// — model time and bytes/string stay bit-identical with tracing on or
+	// off. Under RunPE the per-process buffers are gathered to rank 0
+	// (clock-aligned) and only rank 0 writes the file.
+	Trace string
+	// TraceCapacity bounds each PE's trace ring in events (0 = the default,
+	// 32768). The ring keeps the newest events; the export repairs span
+	// pairs broken by wraparound and reports the dropped count.
+	TraceCapacity int
 }
 
 // PEOutput is one PE's fragment of the sorted result.
@@ -454,6 +468,9 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 		machine.SetModel(*cfg.Model)
 	}
 	machine.SetPool(par.New(cfg.Cores))
+	if cfg.Trace != "" || trace.LiveOn() {
+		machine.EnableTrace(cfg.TraceCapacity)
+	}
 
 	local := func(pe int) [][]byte {
 		if pe < len(inputs) {
@@ -546,6 +563,15 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 		})
 		if err != nil {
 			return fail(err)
+		}
+	}
+
+	// The timeline is written after every post-processing step so the
+	// validation/reconstruction rounds appear on it too; the deterministic
+	// statistics were snapshotted long before and are unaffected.
+	if cfg.Trace != "" {
+		if err := trace.WriteFile(cfg.Trace, machine.TraceBuffers()); err != nil {
+			return fail(fmt.Errorf("stringsort: trace: %w", err))
 		}
 	}
 
