@@ -56,6 +56,16 @@ var benchTraceDir string
 // ordered directory of timelines.
 var benchTraceSeq int
 
+// benchChaos/benchChaosSeed are the -chaos/-chaos-seed values: every sort
+// of the harness runs under the named fault-injection level. The model
+// panels are chaos-invariant by construction — the knob exists to confirm
+// exactly that on the full figure workloads (and to measure the wall-time
+// cost of recovery).
+var (
+	benchChaos     string
+	benchChaosSeed uint64
+)
+
 // benchTracePath names the next cell's trace file ("" when -trace is
 // unset): NNN-algo-pP.json, e.g. 017-PDMS-p32.json.
 func benchTracePath(algo stringsort.Algorithm, p int) string {
@@ -94,6 +104,8 @@ func main() {
 	flag.StringVar(&opt.codec, "codec", "none", "wire codec decorating the transport (none, flate, lcp); adds a wire-bytes panel")
 	flag.IntVar(&benchCores, "cores", 0, "intra-PE work pool width per PE (0 = GOMAXPROCS, 1 = sequential; model panels are width-invariant)")
 	flag.StringVar(&benchTraceDir, "trace", "", "write one Chrome trace-event JSON timeline per benchmark cell into this directory (created if missing; model panels are trace-invariant)")
+	flag.StringVar(&benchChaos, "chaos", "", "fault-injection level for every cell: delay, reorder, drop (empty = off; model panels are chaos-invariant)")
+	flag.Uint64Var(&benchChaosSeed, "chaos-seed", 1, "seed of the deterministic chaos schedule")
 	mergeMode := flag.String("merge", "eager", "Step-4 front-end: eager or streaming (model panels are merge-invariant)")
 	profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -170,6 +182,8 @@ func runOne(inputs [][][]byte, algo stringsort.Algorithm, seed uint64, charSampl
 		Codec:          codec,
 		StreamingMerge: streaming,
 		Trace:          benchTracePath(algo, len(inputs)),
+		Chaos:          benchChaos,
+		ChaosSeed:      benchChaosSeed,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v failed: %v\n", algo, err)
@@ -314,6 +328,8 @@ func skewExperiment(opt options) {
 				CharSampling: char,
 				Cores:        benchCores,
 				Trace:        benchTracePath(stringsort.MS, p),
+				Chaos:        benchChaos,
+				ChaosSeed:    benchChaosSeed,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -346,6 +362,8 @@ func ablationOversampling(opt options) {
 			Oversampling: v,
 			Cores:        benchCores,
 			Trace:        benchTracePath(stringsort.MS, p),
+			Chaos:        benchChaos,
+			ChaosSeed:    benchChaosSeed,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -373,6 +391,8 @@ func ablationEps(opt options) {
 			Eps:       eps,
 			Cores:     benchCores,
 			Trace:     benchTracePath(stringsort.PDMS, p),
+			Chaos:     benchChaos,
+			ChaosSeed: benchChaosSeed,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -413,6 +433,8 @@ func ablationTieBreak(opt options) {
 				TieBreak:  tie,
 				Cores:     benchCores,
 				Trace:     benchTracePath(stringsort.MS, p),
+				Chaos:     benchChaos,
+				ChaosSeed: benchChaosSeed,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)

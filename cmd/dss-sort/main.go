@@ -31,7 +31,17 @@
 // actually crossed the wire. All tuning flags (-algo, -seed,
 // -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
 // -merge, -merge-chunk, -codec, -codec-min, -validate, -mem-budget,
-// -spill-dir, -trace, -trace-cap) are shared verbatim with dss-worker.
+// -spill-dir, -trace, -trace-cap, -chaos, -chaos-seed, -net-retries,
+// -net-timeout) are shared verbatim with dss-worker.
+//
+// -chaos LEVEL injects deterministic faults (frame delays, reordering
+// within delivery bounds, and at the "drop" level mid-run connection
+// kills with partial final writes) under the codec, seeded by
+// -chaos-seed. With -transport tcp the dropped connections exercise the
+// backend's reconnect-with-resend path; output and model statistics must
+// be — and are pinned by tests to be — bit-identical to an undisturbed
+// run, and the stderr summary's "net:" line reports the reconnect and
+// resend volume. -net-retries and -net-timeout bound the recovery.
 //
 // Observability: -trace FILE writes a Chrome trace-event timeline of the
 // run (load in ui.perfetto.dev), -debug-addr HOST:PORT serves pprof,

@@ -24,8 +24,12 @@
 // Flag parity with dss-sort: every tuning flag of dss-sort (-algo, -seed,
 // -oversampling, -charsample, -eps, -tiebreak, -randomsample, -exchange,
 // -merge, -merge-chunk, -codec, -codec-min, -validate, -mem-budget,
-// -spill-dir, -trace, -trace-cap) is accepted here with identical semantics
-// — both binaries register the same stringsort.RegisterTuningFlags set.
+// -spill-dir, -trace, -trace-cap, -chaos, -chaos-seed, -net-retries,
+// -net-timeout) is accepted here with identical semantics — both binaries
+// register the same stringsort.RegisterTuningFlags set. -net-retries and
+// -net-timeout shape the worker's reconnect-with-resend behavior when an
+// established peer connection drops mid-run; the run's stats report the
+// recovery volume on the `net:` line.
 // With -mem-budget the worker runs the bounded-memory out-of-core
 // pipeline: it spills Step-3 runs to page files under -spill-dir and
 // streams its sorted fragment from a run file to -out instead of
@@ -113,15 +117,25 @@ func main() {
 		fatal(err)
 	}
 
-	ep, err := tcp.ConnectConfig(*rank, peers, tcp.Config{RendezvousTimeout: *rendezvous})
+	ep, err := tcp.ConnectConfig(*rank, peers, tcp.Config{
+		RendezvousTimeout: *rendezvous,
+		ReconnectTimeout:  cfg.NetTimeout,
+		MaxReconnects:     cfg.NetRetries,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	defer ep.Close()
 
 	res, err := stringsort.RunPE(ep, local, cfg)
 	if err != nil {
+		ep.Close()
 		fatal(fmt.Errorf("rank %d: %w", *rank, err))
+	}
+	// A transport failure swallowed mid-run (reader goroutine death, an
+	// exhausted reconnect budget racing teardown) surfaces here: a worker
+	// whose connections died must not exit 0 on a complete-looking output.
+	if err := ep.Close(); err != nil {
+		fatal(fmt.Errorf("rank %d: transport: %w", *rank, err))
 	}
 
 	// A truncated fragment must not exit 0: the whole point of the worker

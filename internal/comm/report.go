@@ -11,9 +11,11 @@ import (
 // deterministic counters, the wall span, overlap and worker-CPU
 // measurements of the overlap and intra-PE parallelism models, and the two
 // wire-byte counters of the codec layer, per phase — plus the two per-PE
-// milestone timestamps of the streaming merge seam, the pool width, and
-// the three spill gauges of the out-of-core pipeline.
-const countersPerPE = int(stats.NumPhases)*9 + 6
+// milestone timestamps of the streaming merge seam, the pool width, the
+// three spill gauges of the out-of-core pipeline, and the three
+// failure-recovery gauges of the transport (reconnects, resent frames,
+// resent bytes).
+const countersPerPE = int(stats.NumPhases)*9 + 9
 
 // AllgatherReport exchanges every PE's accounting snapshot and returns a
 // machine-wide report, identical on every member — the SPMD counterpart of
@@ -45,6 +47,9 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 	vals[int(stats.NumPhases)*9+3] = uint64(snap.SpillBytesWritten)
 	vals[int(stats.NumPhases)*9+4] = uint64(snap.SpillBytesRead)
 	vals[int(stats.NumPhases)*9+5] = uint64(snap.PeakLiveBytes)
+	vals[int(stats.NumPhases)*9+6] = uint64(snap.Reconnects)
+	vals[int(stats.NumPhases)*9+7] = uint64(snap.ResentFrames)
+	vals[int(stats.NumPhases)*9+8] = uint64(snap.ResentBytes)
 	g := NewGroup(c, WorldRanks(c.P()), gid)
 	parts := g.Allgatherv(wire.EncodeUint64s(vals))
 	pes := make([]*stats.PE, len(parts))
@@ -75,6 +80,9 @@ func AllgatherReport(c *Comm, model stats.CostModel, gid int) *stats.Report {
 		pe.SpillBytesWritten = int64(vs[int(stats.NumPhases)*9+3])
 		pe.SpillBytesRead = int64(vs[int(stats.NumPhases)*9+4])
 		pe.PeakLiveBytes = int64(vs[int(stats.NumPhases)*9+5])
+		pe.Reconnects = int64(vs[int(stats.NumPhases)*9+6])
+		pe.ResentFrames = int64(vs[int(stats.NumPhases)*9+7])
+		pe.ResentBytes = int64(vs[int(stats.NumPhases)*9+8])
 		pes[i] = pe
 	}
 	c.Release(parts...)

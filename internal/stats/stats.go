@@ -138,6 +138,16 @@ type PE struct {
 	SpillBytesWritten int64
 	SpillBytesRead    int64
 	PeakLiveBytes     int64
+	// Reconnects, ResentFrames and ResentBytes are the transport's
+	// failure-recovery gauges: connections re-established after a drop,
+	// and the frames/bytes replayed from the resend ring to resume them
+	// (tcp only; zero on the local backend and on undisturbed runs). They
+	// live on the measured channel with Wall and Overlap: recovery happens
+	// below the accounting boundary, so the deterministic model statistics
+	// are bit-identical whether or not connections died mid-run.
+	Reconnects   int64
+	ResentFrames int64
+	ResentBytes  int64
 }
 
 // TotalWire returns the sum of the PE's wire counters over all phases.
@@ -478,6 +488,39 @@ func (r *Report) TotalSpillBytesRead() int64 {
 		b += pe.SpillBytesRead
 	}
 	return b
+}
+
+// TotalReconnects returns the machine-wide count of connections
+// re-established after a drop. Positive proves the run actually survived
+// connection loss (the chaos differential tests assert this); 0 means the
+// fabric stayed up end to end.
+func (r *Report) TotalReconnects() int64 {
+	var n int64
+	for _, pe := range r.PEs {
+		n += pe.Reconnects
+	}
+	return n
+}
+
+// TotalResentFrames returns the machine-wide count of frames replayed from
+// resend rings during reconnects.
+func (r *Report) TotalResentFrames() int64 {
+	var n int64
+	for _, pe := range r.PEs {
+		n += pe.ResentFrames
+	}
+	return n
+}
+
+// TotalResentBytes returns the machine-wide payload bytes replayed during
+// reconnects. Resends live below the accounting boundary: they appear
+// here and nowhere in the deterministic counters.
+func (r *Report) TotalResentBytes() int64 {
+	var n int64
+	for _, pe := range r.PEs {
+		n += pe.ResentBytes
+	}
+	return n
 }
 
 // MaxPeakLiveBytes returns the bottleneck peak of metered live arena

@@ -1,0 +1,154 @@
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dss/internal/transport"
+	"dss/internal/transport/chaos"
+	"dss/internal/transport/conformance"
+	"dss/internal/transport/local"
+	"dss/internal/transport/tcp"
+)
+
+// TestConformanceUnderChaos runs the full transport conformance suite over
+// both built-in backends decorated with every chaos severity level: the
+// substrate contract — non-overtaking per-(pair, tag) streams, tag
+// selectivity, RecvAny earliest-arrival semantics with plausible stamps —
+// must hold while frames are delayed, reordered across streams, and (over
+// tcp) connections are killed and resumed mid-traffic.
+func TestConformanceUnderChaos(t *testing.T) {
+	backends := []struct {
+		name string
+		make func(tb testing.TB, p int) transport.Fabric
+	}{
+		{"local", func(tb testing.TB, p int) transport.Fabric { return local.New(p) }},
+		{"tcp", func(tb testing.TB, p int) transport.Fabric {
+			f, err := tcp.NewLoopback(p)
+			if err != nil {
+				tb.Fatalf("loopback fabric: %v", err)
+			}
+			return f
+		}},
+	}
+	for _, level := range chaos.Names() {
+		cfg, err := chaos.Parse(level)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", level, err)
+		}
+		cfg.Seed = 0xC5A0 + uint64(len(level))
+		for _, b := range backends {
+			t.Run(fmt.Sprintf("%s-%s", b.name, level), func(t *testing.T) {
+				mk := b.make
+				conformance.Run(t, func(tb testing.TB, p int) transport.Fabric {
+					return chaos.WrapFabric(mk(tb, p), cfg)
+				})
+			})
+		}
+	}
+}
+
+// TestScheduleDeterminism pins the decorator's core promise: the fault
+// schedule is a pure function of (seed, rank, send sequence). Two
+// endpoints wrapped with the same seed over identical send sequences must
+// inject the drops at the same frame indices — observed here through the
+// wrapped tcp endpoint's reconnect counters.
+func TestScheduleDeterminism(t *testing.T) {
+	run := func(seed uint64) (reconnects, resent int64) {
+		f, err := tcp.NewLoopback(2)
+		if err != nil {
+			t.Fatalf("loopback fabric: %v", err)
+		}
+		cfg, err := chaos.Parse("drop")
+		if err != nil {
+			t.Fatalf("Parse(drop): %v", err)
+		}
+		cfg.Seed = seed
+		cfg.MaxDelay = 0
+		cfg.DelayProb = 0 // timing out of the picture: drops only
+		cf := chaos.WrapFabric(f, cfg)
+		a, b := cf.Endpoint(0), cf.Endpoint(1)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 120; i++ {
+				buf := b.Recv(0, 3)
+				if len(buf) != 32 || buf[0] != byte(i) {
+					panic(fmt.Sprintf("frame %d corrupted: % x", i, buf[:2]))
+				}
+				b.Release(buf)
+			}
+		}()
+		payload := make([]byte, 32)
+		for i := 0; i < 120; i++ {
+			payload[0] = byte(i)
+			a.Send(1, 3, payload)
+		}
+		<-done
+		rc, rf, _ := a.(interface {
+			NetStats() (int64, int64, int64)
+		}).NetStats()
+		if err := cf.Close(); err != nil {
+			t.Fatalf("Close after recovered drops: %v", err)
+		}
+		return rc, rf
+	}
+
+	r1, f1 := run(42)
+	r2, f2 := run(42)
+	if r1 < 1 {
+		t.Fatalf("drop schedule injected no drops over 120 frames (reconnects = %d)", r1)
+	}
+	if r1 != r2 || f1 != f2 {
+		t.Fatalf("same seed, different schedule: (%d reconnects, %d resent) vs (%d, %d)", r1, f1, r2, f2)
+	}
+}
+
+// TestDropsRequireCapability pins the graceful degradation: over the local
+// backend (no transport.ConnDropper) the drop level must inject nothing
+// and report zero reconnects, while still delivering everything.
+func TestDropsRequireCapability(t *testing.T) {
+	cfg, err := chaos.Parse("drop")
+	if err != nil {
+		t.Fatalf("Parse(drop): %v", err)
+	}
+	cfg.Seed = 7
+	f := chaos.WrapFabric(local.New(2), cfg)
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			buf := b.Recv(0, 1)
+			if len(buf) != 1 || buf[0] != byte(i) {
+				panic(fmt.Sprintf("frame %d: % x", i, buf))
+			}
+			b.Release(buf)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		a.Send(1, 1, []byte{byte(i)})
+	}
+	<-done
+	rc, rf, rb := a.(interface {
+		NetStats() (int64, int64, int64)
+	}).NetStats()
+	if rc != 0 || rf != 0 || rb != 0 {
+		t.Fatalf("local backend reported net stats (%d, %d, %d), want zeros", rc, rf, rb)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestParseRejectsUnknownLevel pins the flag-parsing contract.
+func TestParseRejectsUnknownLevel(t *testing.T) {
+	if _, err := chaos.Parse("tsunami"); err == nil {
+		t.Fatalf("Parse(tsunami) accepted an unknown severity level")
+	}
+	for _, name := range chaos.Names() {
+		if _, err := chaos.Parse(name); err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+	}
+}

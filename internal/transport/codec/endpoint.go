@@ -65,8 +65,37 @@ func (e *Endpoint) SetWirePhase(ph stats.Phase) { e.ph = ph }
 
 // BindTrace installs the PE's timeline recorder so post-codec frame sizes
 // appear as wire-send/wire-recv instants next to the raw-volume events the
-// comm layer records. Bound by comm.SetTrace; nil keeps tracing off.
-func (e *Endpoint) BindTrace(tr *trace.Recorder) { e.tr = tr }
+// comm layer records, and forwards it down the decorator stack (the tcp
+// backend records net-drop/net-reconnect instants on the same timeline).
+// Bound by comm.SetTrace; nil keeps tracing off.
+func (e *Endpoint) BindTrace(tr *trace.Recorder) {
+	e.tr = tr
+	if tb, ok := e.inner.(traceBinder); ok {
+		tb.BindTrace(tr)
+	}
+}
+
+// traceBinder mirrors the capability this endpoint itself implements, for
+// forwarding the recorder to the wrapped transport.
+type traceBinder interface {
+	BindTrace(tr *trace.Recorder)
+}
+
+// NetStats forwards the wrapped transport's failure-recovery counters
+// (reconnects and resend volume; zero for backends without connections),
+// so the comm layer's stats plumbing sees through the codec decorator.
+func (e *Endpoint) NetStats() (reconnects, resentFrames, resentBytes int64) {
+	if ns, ok := e.inner.(netStats); ok {
+		return ns.NetStats()
+	}
+	return 0, 0, 0
+}
+
+// netStats is the failure-recovery counter capability of the wrapped
+// transport (implemented by tcp, forwarded by the chaos decorator).
+type netStats interface {
+	NetStats() (reconnects, resentFrames, resentBytes int64)
+}
 
 // Rank returns the wrapped endpoint's rank.
 func (e *Endpoint) Rank() int { return e.inner.Rank() }

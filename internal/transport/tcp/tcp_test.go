@@ -250,3 +250,115 @@ func TestStalledStrangerDoesNotDelayRendezvous(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+// TestReconnectAfterDrop kills an established connection mid-exchange with
+// the ConnDropper fault injector and asserts the pair reconnects, replays
+// the unacknowledged suffix, and delivers every message exactly once and
+// in order — the core protocol-v2 guarantee the chaos suite builds on.
+func TestReconnectAfterDrop(t *testing.T) {
+	f, err := tcp.NewLoopback(2)
+	if err != nil {
+		t.Fatalf("loopback fabric: %v", err)
+	}
+	a := f.Endpoint(0).(*tcp.Endpoint)
+	b := f.Endpoint(1)
+
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			got := b.Recv(0, 7)
+			if len(got) != 64 || got[0] != byte(i) || got[63] != byte(i) {
+				panic(fmt.Sprintf("frame %d corrupted after reconnect: % x", i, got[:4]))
+			}
+			b.Release(got)
+		}
+	}()
+	buf := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		if i == 50 || i == 120 {
+			// Cut the live connection mid-frame: the next write is
+			// truncated after 10 bytes — a torn header on the wire.
+			if !a.DropConn(1, 10) {
+				t.Errorf("DropConn(1) = false, want true")
+			}
+		}
+		buf[0], buf[63] = byte(i), byte(i)
+		a.Send(1, 7, buf)
+	}
+	wg.Wait()
+
+	reconnects, resentFrames, _ := a.NetStats()
+	if reconnects < 1 {
+		t.Fatalf("reconnects = %d after injected drops, want >= 1", reconnects)
+	}
+	if resentFrames < 1 {
+		t.Fatalf("resentFrames = %d after injected drops, want >= 1", resentFrames)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close after successful recovery: %v", err)
+	}
+}
+
+// TestExhaustedReconnectBudgetFailsClose pins the error-propagation half
+// of recovery: with reconnection disabled, an injected drop must fail the
+// endpoint permanently and Close must report the cause instead of
+// returning nil — a run's exit status reflects the lost connection.
+func TestExhaustedReconnectBudgetFailsClose(t *testing.T) {
+	f, err := tcp.NewLoopbackConfig(2, tcp.Config{MaxReconnects: -1})
+	if err != nil {
+		t.Fatalf("loopback fabric: %v", err)
+	}
+	a := f.Endpoint(0).(*tcp.Endpoint)
+	if !a.DropConn(1, 3) {
+		t.Fatalf("DropConn(1) = false, want true")
+	}
+	a.Send(1, 5, []byte("doomed"))
+	// The failure closes the mailboxes, so a blocked Recv panics with the
+	// cause — that is the ordering point after which Close must report it.
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("Recv returned instead of panicking on a failed endpoint")
+			}
+			if !strings.Contains(fmt.Sprint(r), "reconnect budget exhausted") {
+				t.Fatalf("Recv panic = %v, want reconnect budget exhausted", r)
+			}
+		}()
+		a.Recv(1, 99)
+	}()
+	if err := a.Close(); err == nil || !strings.Contains(err.Error(), "reconnect budget exhausted") {
+		t.Fatalf("Close error = %v, want reconnect budget exhausted", err)
+	}
+	f.Close()
+}
+
+// TestReconnectBudgetSurvivesEndpointClose asserts the inverse of the
+// budget test: a clean Close right after normal traffic reports no error
+// even though the peer's teardown races our readers (EOF on a closing
+// fabric is shutdown, not failure).
+func TestCleanCloseReportsNoError(t *testing.T) {
+	f, err := tcp.NewLoopback(3)
+	if err != nil {
+		t.Fatalf("loopback fabric: %v", err)
+	}
+	for r := 0; r < 3; r++ {
+		for d := 0; d < 3; d++ {
+			f.Endpoint(r).Send(d, 1, []byte{byte(r), byte(d)})
+		}
+	}
+	for r := 0; r < 3; r++ {
+		for s := 0; s < 3; s++ {
+			got := f.Endpoint(r).Recv(s, 1)
+			if len(got) != 2 || got[0] != byte(s) || got[1] != byte(r) {
+				t.Fatalf("rank %d from %d: got % x", r, s, got)
+			}
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("clean Close: %v", err)
+	}
+}

@@ -75,6 +75,19 @@ type AnyPoller interface {
 	TryRecvAny(srcs []int, tag int) (src int, data []byte, arrived time.Time, ok bool)
 }
 
+// ConnDropper is an optional capability of a Transport: fault injection
+// for backends with real connections. DropConn arms a one-shot trap on the
+// connection to peer — the next write to that peer is truncated after
+// afterBytes bytes and the connection is torn down, exactly as if the
+// network had cut it mid-frame. It reports false when the backend has no
+// droppable connection to that peer (the local backend, or peer == own
+// rank). The chaos decorator (transport/chaos) is the only intended
+// caller; a backend that implements ConnDropper must survive its own
+// injected drops (reconnect and resend, see transport/tcp).
+type ConnDropper interface {
+	DropConn(peer int, afterBytes int) bool
+}
+
 // Fabric is a connected set of P endpoints, one per rank. In-process runs
 // (the local backend, or the TCP backend bound to loopback ports) hold all
 // endpoints of the fabric in one process; SPMD multi-process runs construct

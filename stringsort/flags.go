@@ -4,7 +4,10 @@ import (
 	"flag"
 	"fmt"
 	"strconv"
+	"strings"
+	"time"
 
+	"dss/internal/transport/chaos"
 	"dss/internal/transport/codec"
 )
 
@@ -38,6 +41,10 @@ type TuningFlags struct {
 	SpillDir     *string
 	Trace        *string
 	TraceCap     *int
+	Chaos        *string
+	ChaosSeed    *uint64
+	NetRetries   *int
+	NetTimeout   *time.Duration
 }
 
 // RegisterTuningFlags registers the shared tuning flags on fs (use
@@ -64,6 +71,10 @@ func RegisterTuningFlags(fs *flag.FlagSet) *TuningFlags {
 		SpillDir:     fs.String("spill-dir", "", "directory for spill page files and sorted-run output (empty = OS temp dir; only with -mem-budget)"),
 		Trace:        fs.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (load in ui.perfetto.dev; under dss-worker, rank 0 writes the merged cross-process trace)"),
 		TraceCap:     fs.Int("trace-cap", 0, "per-PE trace ring capacity in events (0 = default 32768; the ring keeps the newest events)"),
+		Chaos:        fs.String("chaos", "", "fault-injection level wrapped under the codec: "+strings.Join(chaos.Names(), ", ")+" (empty = off; output and model stats must be unaffected)"),
+		ChaosSeed:    fs.Uint64("chaos-seed", 1, "seed of the deterministic chaos schedule (same seed = same faults)"),
+		NetRetries:   fs.Int("net-retries", 0, "TCP reconnect budget per peer connection (0 = default 8, negative = never reconnect)"),
+		NetTimeout:   fs.Duration("net-timeout", 0, "TCP reconnect deadline per attempt (0 = default 10s)"),
 	}
 }
 
@@ -85,6 +96,11 @@ func (tf *TuningFlags) Apply(cfg *Config) error {
 	codecName, err := codec.Parse(*tf.Codec)
 	if err != nil {
 		return err
+	}
+	if *tf.Chaos != "" {
+		if _, err := chaos.Parse(*tf.Chaos); err != nil {
+			return err
+		}
 	}
 	cfg.Algorithm = algo
 	cfg.Codec = codecName
@@ -109,6 +125,10 @@ func (tf *TuningFlags) Apply(cfg *Config) error {
 	cfg.SpillDir = *tf.SpillDir
 	cfg.Trace = *tf.Trace
 	cfg.TraceCapacity = *tf.TraceCap
+	cfg.Chaos = *tf.Chaos
+	cfg.ChaosSeed = *tf.ChaosSeed
+	cfg.NetRetries = *tf.NetRetries
+	cfg.NetTimeout = *tf.NetTimeout
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"dss/internal/stats"
 	"dss/internal/trace"
 	"dss/internal/transport"
+	"dss/internal/transport/chaos"
 	"dss/internal/transport/codec"
 	"dss/internal/verify"
 )
@@ -58,6 +59,22 @@ type PERun struct {
 func RunPE(t transport.Transport, local [][]byte, cfg Config) (*PERun, error) {
 	if cfg.P != 0 && cfg.P != t.P() {
 		return nil, fmt.Errorf("stringsort: Config.P=%d but fabric has %d PEs", cfg.P, t.P())
+	}
+	// Chaos sits directly on the backend, under the codec, so injected
+	// faults hit the exact post-codec wire frames — the same stacking order
+	// Sort builds via wrapChaos/wrapCodec. RunPE owns the decorator (the
+	// caller owns only the inner endpoint), so it must be drained on every
+	// return path: a delayed frame still queued when the caller closes the
+	// endpoint would be delivered into a closed transport.
+	if cfg.Chaos != "" {
+		ccfg, err := chaos.Parse(cfg.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		ccfg.Seed = cfg.ChaosSeed
+		ce := chaos.Wrap(t, ccfg)
+		defer ce.Drain()
+		t = ce
 	}
 	if name, err := codec.Parse(cfg.Codec); err != nil {
 		return nil, err

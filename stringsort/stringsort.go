@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"dss/internal/comm"
 	"dss/internal/core"
@@ -32,6 +33,7 @@ import (
 	"dss/internal/stats"
 	"dss/internal/trace"
 	"dss/internal/transport"
+	"dss/internal/transport/chaos"
 	"dss/internal/transport/codec"
 	"dss/internal/transport/local"
 	"dss/internal/transport/tcp"
@@ -277,6 +279,27 @@ type Config struct {
 	// 32768). The ring keeps the newest events; the export repairs span
 	// pairs broken by wraparound and reports the dropped count.
 	TraceCapacity int
+	// Chaos names a fault-injection severity level ("delay", "reorder",
+	// "drop"; see transport/chaos) decorating the transport UNDER the wire
+	// codec: frames are delayed, reordered across independent streams,
+	// and — over TCP — established connections are killed mid-exchange and
+	// resumed via the transport's reconnect-with-resend machinery. The
+	// sorted output and the deterministic statistics are bit-identical to
+	// an undisturbed run; only the measured channel (wall clock,
+	// Stats.Reconnects) shows the faults. Empty disables chaos.
+	Chaos string
+	// ChaosSeed selects the deterministic fault schedule (frame delays and
+	// drop points are a pure function of seed, rank and send sequence).
+	ChaosSeed uint64
+	// NetRetries bounds how many times each TCP pairwise connection may be
+	// re-established after a drop before the run fails. 0 means the
+	// transport default (8); negative disables reconnection — the first
+	// drop kills the run. Ignored by the local transport.
+	NetRetries int
+	// NetTimeout bounds each TCP reconnect attempt (redial backoff window
+	// on the dialing side, replacement-arrival wait on the accepting
+	// side). 0 means the transport default (10 s).
+	NetTimeout time.Duration
 }
 
 // PEOutput is one PE's fragment of the sorted result.
@@ -376,6 +399,18 @@ type Stats struct {
 	// SpillBytesRead is the machine-wide volume paged back in from spill
 	// files during the merge. Nondeterministic, like PeakMemBytes.
 	SpillBytesRead int64
+	// Reconnects is the machine-wide count of TCP connections
+	// re-established after a drop (injected or real); 0 means the fabric
+	// stayed up end to end. Measured, not modeled: zero the field before
+	// cross-run comparisons like the other wall-clock fields.
+	Reconnects int64
+	// ResentFrames and ResentBytes are the frames and payload bytes
+	// replayed from resend rings to resume dropped connections. Resends
+	// happen below the accounting boundary: these gauges move while
+	// ModelTime, BytesSent and Messages stay bit-identical.
+	// Nondeterministic, like Reconnects.
+	ResentFrames int64
+	ResentBytes  int64
 }
 
 // WriteSummary writes the human-readable run summary that dss-sort and
@@ -402,6 +437,8 @@ func (st Stats) WriteSummary(w io.Writer, algo Algorithm, machine string, n int)
 		st.MergeCPUMS, st.MergeWallMS)
 	fmt.Fprintf(w, "spill:            %d bytes written, %d read back, %d peak live (0 = everything stayed in memory)\n",
 		st.SpillBytesWritten, st.SpillBytesRead, st.PeakMemBytes)
+	fmt.Fprintf(w, "net:              %d reconnects, %d frames resent (%d bytes; all-zero = no connection ever dropped)\n",
+		st.Reconnects, st.ResentFrames, st.ResentBytes)
 	fmt.Fprintf(w, "%s", st.PhaseTable)
 	fmt.Fprintf(w, "%s", st.WallTable)
 }
@@ -434,6 +471,9 @@ func statsFromReport(rep *stats.Report, n int64) Stats {
 		PeakMemBytes:       rep.MaxPeakLiveBytes(),
 		SpillBytesWritten:  rep.TotalSpillBytesWritten(),
 		SpillBytesRead:     rep.TotalSpillBytesRead(),
+		Reconnects:         rep.TotalReconnects(),
+		ResentFrames:       rep.TotalResentFrames(),
+		ResentBytes:        rep.TotalResentBytes(),
 	}
 }
 
@@ -463,7 +503,16 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer machine.Close()
+	// The machine is closed explicitly on the success path so
+	// transport-level failures the algorithms never blocked on — a reader
+	// that hit a decode error, an exhausted reconnect budget — surface in
+	// the run's result instead of vanishing with a deferred Close.
+	closed := false
+	defer func() {
+		if !closed {
+			machine.Close()
+		}
+	}()
 	if cfg.Model != nil {
 		machine.SetModel(*cfg.Model)
 	}
@@ -575,6 +624,11 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 		}
 	}
 
+	closed = true
+	if err := machine.Close(); err != nil {
+		return fail(fmt.Errorf("stringsort: transport: %w", err))
+	}
+
 	out := &Result{PEs: make([]PEOutput, p), Stats: st, PrefixOnly: prefixOnly}
 	for pe := 0; pe < p; pe++ {
 		peOut := PEOutput{Strings: results[pe].Strings, LCPs: results[pe].LCPs}
@@ -594,7 +648,9 @@ func Sort(inputs [][][]byte, cfg Config) (*Result, error) {
 }
 
 // newMachine builds the comm machine for the configured transport,
-// decorating the fabric with the wire codec when one is selected.
+// decorating the fabric with the chaos fault injector (innermost, so
+// faults hit the post-codec wire frames) and the wire codec when either
+// is selected.
 func newMachine(p int, cfg Config) (*comm.Machine, error) {
 	var f transport.Fabric
 	switch cfg.Transport {
@@ -602,13 +658,17 @@ func newMachine(p int, cfg Config) (*comm.Machine, error) {
 		f = local.New(p)
 	case TransportTCP:
 		var err error
+		tcfg := tcp.Config{
+			ReconnectTimeout: cfg.NetTimeout,
+			MaxReconnects:    cfg.NetRetries,
+		}
 		if len(cfg.TCPPeers) > 0 {
 			if len(cfg.TCPPeers) != p {
 				return nil, fmt.Errorf("stringsort: %d TCP peer addresses for %d PEs", len(cfg.TCPPeers), p)
 			}
-			f, err = tcp.NewFabric(cfg.TCPPeers)
+			f, err = tcp.NewFabricConfig(cfg.TCPPeers, tcfg)
 		} else {
-			f, err = tcp.NewLoopback(p)
+			f, err = tcp.NewLoopbackConfig(p, tcfg)
 		}
 		if err != nil {
 			return nil, err
@@ -616,12 +676,34 @@ func newMachine(p int, cfg Config) (*comm.Machine, error) {
 	default:
 		return nil, fmt.Errorf("stringsort: unknown transport %v", cfg.Transport)
 	}
-	f, err := wrapCodec(f, cfg)
+	f, err := wrapChaos(f, cfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f, err = wrapCodec(f, cfg)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	return comm.NewOver(f), nil
+}
+
+// wrapChaos decorates the fabric with the configured fault-injection
+// schedule ("" disables chaos, the production default). Chaos wraps the
+// raw backend directly — the codec decorator goes on top — so injected
+// delays, reorders and connection drops disturb the frames actually on
+// the wire.
+func wrapChaos(f transport.Fabric, cfg Config) (transport.Fabric, error) {
+	if cfg.Chaos == "" {
+		return f, nil
+	}
+	ccfg, err := chaos.Parse(cfg.Chaos)
+	if err != nil {
+		return f, fmt.Errorf("stringsort: %w", err)
+	}
+	ccfg.Seed = cfg.ChaosSeed
+	return chaos.WrapFabric(f, ccfg), nil
 }
 
 // wrapCodec decorates the fabric with the configured wire codec. The
